@@ -1,0 +1,43 @@
+// Command ablation measures the contribution of each of the runtime's
+// design choices — the utilisation veto, the latency EWMA, the drain
+// guard, the warm start, the sparse-row factor freeze and the parallel
+// search — by disabling them one at a time on a near-saturation
+// scenario. It also reports the energy-proportionality curve that
+// quantifies the paper's §I motivation.
+//
+// Usage:
+//
+//	ablation [-part guards|proportionality] [-seed 1] [-mixes 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cuttlesys/experiments"
+)
+
+func main() {
+	part := flag.String("part", "guards", "guards | proportionality")
+	seed := flag.Uint64("seed", 1, "random seed")
+	mixes := flag.Int("mixes", 1, "mixes per service")
+	flag.Parse()
+
+	switch *part {
+	case "guards":
+		fmt.Println("Runtime guard ablation (0.9 load, 70% cap):")
+		rows := experiments.Ablation(experiments.Setup{
+			Seed: *seed, MixesPerService: *mixes, LoadFrac: 0.9,
+			Services: []string{"xapian", "silo"},
+		})
+		experiments.WriteAblation(os.Stdout, rows)
+	case "proportionality":
+		fmt.Println("Energy proportionality — server power vs offered load (xapian, LC only):")
+		rows := experiments.EnergyProportionality("xapian", *seed, nil)
+		experiments.WriteProportionality(os.Stdout, rows)
+	default:
+		fmt.Fprintf(os.Stderr, "ablation: unknown part %q\n", *part)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,46 @@
+// Command accuracy regenerates the reconstruction-accuracy studies:
+// Fig. 5a (applications in isolation), Fig. 5b (at runtime with
+// colocation), and the §VIII-A2 training-set-size sweep.
+//
+// Usage:
+//
+//	accuracy [-mode isolation|colocation|trainsweep] [-seed 1]
+//	         [-mixes 2] [-slices 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cuttlesys/experiments"
+)
+
+func main() {
+	mode := flag.String("mode", "isolation", "isolation | colocation | trainsweep")
+	seed := flag.Uint64("seed", 1, "random seed")
+	mixes := flag.Int("mixes", 2, "mixes per service (colocation mode)")
+	slices := flag.Int("slices", 10, "timeslices per run (colocation mode)")
+	flag.Parse()
+
+	switch *mode {
+	case "isolation":
+		fmt.Println("Fig. 5a — reconstruction accuracy, applications in isolation:")
+		experiments.WriteAccuracy(os.Stdout, experiments.Fig5aIsolation(*seed))
+	case "colocation":
+		fmt.Println("Fig. 5b — reconstruction accuracy at runtime (colocated):")
+		res := experiments.Fig5bColocation(experiments.Setup{
+			Seed: *seed, MixesPerService: *mixes, Slices: *slices,
+		})
+		experiments.WriteAccuracy(os.Stdout, res)
+	case "trainsweep":
+		fmt.Println("§VIII-A2 — training-set-size sensitivity:")
+		fmt.Printf("%-8s %s\n", "apps", "mean abs error (%)")
+		for _, r := range experiments.TrainingSetSweep(*seed, nil) {
+			fmt.Printf("%-8d %.1f\n", r.NTrain, r.MeanAbs)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "accuracy: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,45 @@
+// Command capsweep regenerates Fig. 5c — relative batch instructions
+// versus the no-gating reference across power caps for core-level
+// gating (± way partitioning), the oracle-like asymmetric multicore
+// and CuttleSys — and, with -searchers, Fig. 10b (SGD+DDS vs SGD+GA).
+//
+// Usage:
+//
+//	capsweep [-mixes 2] [-slices 10] [-load 0.8] [-seed 1]
+//	         [-services xapian,...] [-searchers]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cuttlesys/experiments"
+)
+
+func main() {
+	mixes := flag.Int("mixes", 2, "mixes per service (paper: 10)")
+	slices := flag.Int("slices", 10, "timeslices per run (1 s as in the paper)")
+	load := flag.Float64("load", 0.8, "LC offered load fraction")
+	seed := flag.Uint64("seed", 1, "random seed")
+	services := flag.String("services", "", "comma-separated services (default all five)")
+	searchers := flag.Bool("searchers", false, "run the Fig. 10b DDS-vs-GA comparison instead")
+	flag.Parse()
+
+	s := experiments.Setup{
+		Seed: *seed, MixesPerService: *mixes, Slices: *slices, LoadFrac: *load,
+	}
+	if *services != "" {
+		s.Services = strings.Split(*services, ",")
+	}
+
+	if *searchers {
+		fmt.Println("Fig. 10b — gmean batch throughput, SGD+DDS vs SGD+GA:")
+		experiments.WriteSearcherRows(os.Stdout, experiments.Fig10bDDSvsGA(s))
+		return
+	}
+	fmt.Println("Fig. 5c — relative instructions vs no-gating across power caps:")
+	rows := experiments.Fig5cPowerCapSweep(s)
+	experiments.WriteCapSweep(os.Stdout, rows, experiments.ComparisonPolicies)
+}

@@ -1,0 +1,44 @@
+// Command characterize regenerates the Fig. 1 characterisation: tail
+// latency and 16-core power of the five TailBench services across all
+// 27 core configurations at low and high load (§III).
+//
+// Usage:
+//
+//	characterize [-loads 0.2,0.8] [-sim 0.5] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cuttlesys/experiments"
+)
+
+func main() {
+	loadsFlag := flag.String("loads", "0.2,0.8", "comma-separated load fractions")
+	simSec := flag.Float64("sim", 0.5, "simulated seconds per configuration")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var loads []float64
+	for _, s := range strings.Split(*loadsFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "characterize: bad load %q: %v\n", s, err)
+			os.Exit(1)
+		}
+		loads = append(loads, v)
+	}
+
+	rows := experiments.Fig1(loads, *seed, *simSec)
+	high := loads[len(loads)-1]
+	experiments.WriteFig1(os.Stdout, rows, high)
+
+	fmt.Println("\ncheapest QoS-meeting configuration per service (cf. Fig. 1):")
+	for svc, cfg := range experiments.BestTradeoff(rows, high) {
+		fmt.Printf("  %-10s %s\n", svc, cfg)
+	}
+}

@@ -1,0 +1,82 @@
+// Command cuttlesim is the general experiment driver: it runs any
+// policy on any service/mix/load/budget combination and prints the
+// per-slice trace — the tool to poke at the system outside the caned
+// figure reproductions.
+//
+// Usage:
+//
+//	cuttlesim [-policy cuttlesys] [-service xapian] [-mix 3]
+//	          [-slices 20] [-load 0.8] [-cap 0.7] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cuttlesys"
+)
+
+func main() {
+	policy := flag.String("policy", "cuttlesys",
+		"cuttlesys | no-gating | core-gating | core-gating+wp | asymm-oracle | asymm-50-50 | flicker-a | flicker-b")
+	service := flag.String("service", "xapian", "latency-critical service (TailBench name)")
+	mixSeed := flag.Uint64("mix", 3, "batch-mix seed")
+	slices := flag.Int("slices", 20, "timeslices to run")
+	load := flag.Float64("load", 0.8, "LC offered load fraction")
+	capFrac := flag.Float64("cap", 0.7, "power cap fraction of reference max power")
+	seed := flag.Uint64("seed", 1, "scheduler seed")
+	flag.Parse()
+
+	lc, err := cuttlesys.AppByName(*service)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cuttlesim: %v\n", err)
+		os.Exit(1)
+	}
+	_, pool := cuttlesys.SplitTrainTest(1, 16)
+
+	reconf := *policy == "cuttlesys" || *policy == "flicker-a" || *policy == "flicker-b"
+	m := cuttlesys.NewMachine(cuttlesys.MachineSpec{
+		Seed: *mixSeed, LC: lc,
+		Batch:          cuttlesys.Mix(*mixSeed, pool, 16),
+		Reconfigurable: reconf,
+	})
+
+	var sched cuttlesys.Scheduler
+	switch *policy {
+	case "cuttlesys":
+		sched = cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: *seed})
+	case "no-gating":
+		sched = cuttlesys.NewNoGating(m)
+	case "core-gating":
+		sched = cuttlesys.NewCoreGating(m, cuttlesys.DescendingPower, false, *seed)
+	case "core-gating+wp":
+		sched = cuttlesys.NewCoreGating(m, cuttlesys.DescendingPower, true, *seed)
+	case "asymm-oracle":
+		sched = cuttlesys.NewAsymmetric(m, true)
+	case "asymm-50-50":
+		sched = cuttlesys.NewAsymmetric(m, false)
+	case "flicker-a":
+		sched = cuttlesys.NewFlicker(m, false, *seed)
+	case "flicker-b":
+		sched = cuttlesys.NewFlicker(m, true, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "cuttlesim: unknown policy %q\n", *policy)
+		os.Exit(1)
+	}
+
+	res := cuttlesys.Run(m, sched, *slices,
+		cuttlesys.ConstantLoad(*load), cuttlesys.ConstantBudget(*capFrac))
+
+	fmt.Printf("%-5s %10s %6s %5s %9s %8s %8s %9s %6s\n",
+		"t", "p99(ms)", "QoS", "viol", "gmBIPS", "P(W)", "budget", "lcCfg", "lcCrs")
+	for _, s := range res.Slices {
+		viol := ""
+		if s.Violated {
+			viol = "V"
+		}
+		fmt.Printf("%-5.1f %10.2f %6.0f %5s %9.2f %8.1f %8.1f %9s %6d\n",
+			s.T, s.P99Ms, s.QoSMs, viol, s.GmeanBIPS, s.AvgPowerW, s.BudgetW, s.LCCoreCfg, s.LCCores)
+	}
+	fmt.Println(res)
+}

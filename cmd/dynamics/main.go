@@ -1,0 +1,41 @@
+// Command dynamics regenerates the §VIII-D time-series experiments:
+// Fig. 8a (diurnal input load), Fig. 8b (power-budget step) and
+// Fig. 8c (core relocation under a load spike), all with CuttleSys
+// managing Xapian plus a 16-job SPEC mix.
+//
+// Usage:
+//
+//	dynamics [-scenario load|power|relocation] [-slices 20] [-seed 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cuttlesys/experiments"
+)
+
+func main() {
+	scenario := flag.String("scenario", "load", "load | power | relocation")
+	slices := flag.Int("slices", 20, "timeslices to simulate")
+	seed := flag.Uint64("seed", 3, "random seed")
+	flag.Parse()
+
+	var sc experiments.DynamicsScenario
+	switch *scenario {
+	case "load":
+		sc = experiments.ScenarioVaryingLoad
+		fmt.Println("Fig. 8a — diurnal load at a 70% power cap:")
+	case "power":
+		sc = experiments.ScenarioVaryingBudget
+		fmt.Println("Fig. 8b — power budget 90% -> 60% -> 90% at 80% load:")
+	case "relocation":
+		sc = experiments.ScenarioRelocation
+		fmt.Println("Fig. 8c — core relocation under a load spike:")
+	default:
+		fmt.Fprintf(os.Stderr, "dynamics: unknown scenario %q\n", *scenario)
+		os.Exit(1)
+	}
+	experiments.WriteDynamics(os.Stdout, experiments.Dynamics(sc, *seed, *slices))
+}

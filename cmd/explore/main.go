@@ -1,0 +1,39 @@
+// Command explore regenerates Fig. 10a: the design-space points
+// explored by parallel DDS versus the genetic algorithm for one mix
+// under one power budget, in the power / (1/throughput) plane, with
+// the best feasible point found by each.
+//
+// Usage:
+//
+//	explore [-cap 0.7] [-seed 6] [-points]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cuttlesys/experiments"
+)
+
+func main() {
+	capFrac := flag.Float64("cap", 0.7, "power cap fraction")
+	seed := flag.Uint64("seed", 6, "random seed")
+	dump := flag.Bool("points", false, "dump every explored point as CSV")
+	flag.Parse()
+
+	points, budget := experiments.Fig10aExploration(*seed, *capFrac)
+	fmt.Println("Fig. 10a — design-space exploration, DDS vs GA:")
+	experiments.WriteFig10a(os.Stdout, points, budget)
+
+	if *dump {
+		fmt.Println("\nsearcher,powerW,invThroughput")
+		for _, p := range points {
+			who := "ga"
+			if p.FromDDS {
+				who = "dds"
+			}
+			fmt.Printf("%s,%.3f,%.5f\n", who, p.PowerW, p.InvThr)
+		}
+	}
+}

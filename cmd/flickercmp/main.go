@@ -1,0 +1,40 @@
+// Command flickercmp regenerates the §VIII-E comparison against
+// Flicker: the tail-latency/QoS comparison of both Flicker evaluation
+// modes versus CuttleSys, and the Fig. 9 inference comparison (cubic
+// RBF with 3 samples versus PQ-reconstruction with 2).
+//
+// Usage:
+//
+//	flickercmp [-part qos|inference] [-seed 1] [-mixes 1] [-load 0.9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cuttlesys/experiments"
+)
+
+func main() {
+	part := flag.String("part", "qos", "qos | inference")
+	seed := flag.Uint64("seed", 1, "random seed")
+	mixes := flag.Int("mixes", 1, "mixes per service")
+	load := flag.Float64("load", 0.9, "LC offered load fraction")
+	flag.Parse()
+
+	switch *part {
+	case "qos":
+		fmt.Println("§VIII-E — Flicker vs CuttleSys tail-latency behaviour:")
+		rows := experiments.FlickerQoSComparison(experiments.Setup{
+			Seed: *seed, MixesPerService: *mixes, LoadFrac: *load,
+		})
+		experiments.WriteFlickerQoS(os.Stdout, rows)
+	case "inference":
+		fmt.Println("Fig. 9 — RBF (3 samples) vs SGD (2 samples) prediction error:")
+		experiments.WriteAccuracy(os.Stdout, experiments.Fig9RBFvsSGD(*seed))
+	default:
+		fmt.Fprintf(os.Stderr, "flickercmp: unknown part %q\n", *part)
+		os.Exit(1)
+	}
+}

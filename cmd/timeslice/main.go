@@ -1,0 +1,24 @@
+// Command timeslice regenerates Fig. 7: instructions executed per
+// 0.1 s timeslice over 1 s, comparing core-level gating, the
+// oracle-like asymmetric multicore and CuttleSys at a 70 % power cap.
+//
+// Usage:
+//
+//	timeslice [-seed 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cuttlesys/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2, "random seed")
+	flag.Parse()
+
+	fmt.Println("Fig. 7 — instructions per timeslice (billions), 70% cap:")
+	experiments.WriteFig7(os.Stdout, experiments.Fig7InstrPerSlice(*seed))
+}

@@ -1,0 +1,199 @@
+// Package cuttlesys is a from-scratch Go implementation of CuttleSys
+// (Kulkarni et al., MICRO 2020): a data-driven resource manager for
+// interactive services on reconfigurable multicores. Each 100 ms
+// decision quantum the runtime profiles every co-scheduled application
+// for two 1 ms samples, reconstructs its full performance/power
+// surface across all 108 core-and-cache configurations with
+// collaborative filtering (PQ-reconstruction with SGD), and explores
+// the joint configuration space with parallel Dynamically Dimensioned
+// Search — meeting the latency-critical service's QoS and maximising
+// batch throughput under a power budget.
+//
+// The package re-exports the library's public surface: the machine
+// simulator that stands in for the paper's zsim+McPAT testbed, the
+// CuttleSys runtime, every baseline from the paper's evaluation, the
+// workload catalog, and the experiment harness. The reproduction of
+// each table and figure lives in the experiments package, with one
+// runnable command per figure under cmd/.
+//
+// Quick start:
+//
+//	lc, _ := cuttlesys.AppByName("xapian")
+//	_, pool := cuttlesys.SplitTrainTest(1, 16)
+//	m := cuttlesys.NewMachine(cuttlesys.MachineSpec{
+//		Seed: 1, LC: lc, Batch: cuttlesys.Mix(1, pool, 16), Reconfigurable: true,
+//	})
+//	rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: 1})
+//	res := cuttlesys.Run(m, rt, 10, cuttlesys.ConstantLoad(0.8), cuttlesys.ConstantBudget(0.7))
+//	fmt.Println(res)
+package cuttlesys
+
+import (
+	"cuttlesys/internal/baseline"
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/core"
+	"cuttlesys/internal/harness"
+	"cuttlesys/internal/sim"
+	"cuttlesys/internal/workload"
+)
+
+// Machine simulates a CMP of reconfigurable (or fixed) cores sharing a
+// 32-way LLC, DRAM bandwidth and a power budget.
+type Machine = sim.Machine
+
+// MachineSpec configures a Machine.
+type MachineSpec = sim.Spec
+
+// Allocation is a per-timeslice machine assignment.
+type Allocation = sim.Allocation
+
+// BatchAssign is one batch job's assignment within an Allocation.
+type BatchAssign = sim.BatchAssign
+
+// PhaseResult reports one phase of machine execution.
+type PhaseResult = sim.PhaseResult
+
+// Profile describes one application's first-order behaviour.
+type Profile = workload.Profile
+
+// AppClass distinguishes batch jobs from latency-critical services.
+type AppClass = workload.Class
+
+// Application classes for Profile.Class.
+const (
+	BatchApp        = workload.Batch
+	LatencyCritical = workload.LatencyCritical
+)
+
+// CoreConfig is a reconfigurable core's {FE,BE,LS} width setting.
+type CoreConfig = config.Core
+
+// CacheAlloc is a per-application LLC way allocation.
+type CacheAlloc = config.CacheAlloc
+
+// Resource pairs a core configuration with a cache allocation.
+type Resource = config.Resource
+
+// Scheduler is the per-timeslice resource-manager interface every
+// policy implements.
+type Scheduler = harness.Scheduler
+
+// Phase pairs an allocation with a duration inside one timeslice.
+type Phase = harness.Phase
+
+// Result aggregates an experiment run.
+type Result = harness.Result
+
+// SliceRecord captures one timeslice of an experiment.
+type SliceRecord = harness.SliceRecord
+
+// LoadPattern yields the LC service's offered load over time.
+type LoadPattern = harness.LoadPattern
+
+// BudgetPattern yields the power budget over time.
+type BudgetPattern = harness.BudgetPattern
+
+// Runtime is the CuttleSys scheduler (§IV-§VI).
+type Runtime = core.Runtime
+
+// RuntimeParams tunes the CuttleSys runtime; zero values select the
+// paper's settings.
+type RuntimeParams = core.Params
+
+// GatingPolicy selects the core-gating baseline's shutdown order.
+type GatingPolicy = baseline.GatingPolicy
+
+// Core-gating policies (§VII-B).
+const (
+	DescendingPower      = baseline.DescendingPower
+	AscendingPower       = baseline.AscendingPower
+	AscendingBIPSPerWatt = baseline.AscendingBIPSPerWatt
+	AscendingBIPS        = baseline.AscendingBIPS
+)
+
+// SliceDur is the decision quantum: 100 ms.
+const SliceDur = harness.SliceDur
+
+// NewMachine constructs a machine simulator from spec.
+func NewMachine(spec MachineSpec) *Machine { return sim.New(spec) }
+
+// NewRuntime constructs the CuttleSys runtime for a machine.
+func NewRuntime(m *Machine, p RuntimeParams) *Runtime { return core.New(m, p) }
+
+// NewNoGating constructs the no-gating reference policy.
+func NewNoGating(m *Machine) Scheduler { return baseline.NewNoGating(m) }
+
+// NewCoreGating constructs the core-level gating baseline.
+func NewCoreGating(m *Machine, policy GatingPolicy, wayPartition bool, seed uint64) Scheduler {
+	return baseline.NewCoreGating(m, policy, wayPartition, seed)
+}
+
+// NewAsymmetric constructs the asymmetric-multicore baseline; oracle
+// selects the per-slice optimal big/little split.
+func NewAsymmetric(m *Machine, oracle bool) Scheduler { return baseline.NewAsymmetric(m, oracle) }
+
+// NewFlicker constructs the Flicker baseline; modeB pins the LC
+// service to the widest configuration (§VIII-E).
+func NewFlicker(m *Machine, modeB bool, seed uint64) Scheduler {
+	return baseline.NewFlicker(m, modeB, seed)
+}
+
+// NewDVFS constructs the per-core DVFS baseline (maxBIPS, §II-A1) —
+// an extension beyond the paper's comparison set, positioning
+// reconfiguration against the incumbent power-management technique.
+func NewDVFS(m *Machine, seed uint64) Scheduler { return baseline.NewDVFS(m, seed) }
+
+// Run executes an experiment: slices timeslices of scheduler s on
+// machine m under the given load and power-budget patterns.
+func Run(m *Machine, s Scheduler, slices int, load LoadPattern, budget BudgetPattern) *Result {
+	return harness.Run(m, s, slices, load, budget)
+}
+
+// MultiScheduler manages machines hosting several latency-critical
+// services (MachineSpec.ExtraLCs) — the paper's §VII-A generalisation.
+// The CuttleSys Runtime implements it.
+type MultiScheduler = harness.MultiScheduler
+
+// LCAssign is one extra service's per-slice assignment.
+type LCAssign = sim.LCAssign
+
+// RunMulti executes a multi-service experiment with one load pattern
+// per service, primary first.
+func RunMulti(m *Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern) *Result {
+	return harness.RunMulti(m, s, slices, loads, budget)
+}
+
+// ConstantLoad offers a fixed fraction of the service's max QPS.
+func ConstantLoad(frac float64) LoadPattern { return harness.ConstantLoad(frac) }
+
+// DiurnalLoad swings smoothly between lo and hi with the given period.
+func DiurnalLoad(lo, hi, period float64) LoadPattern { return harness.DiurnalLoad(lo, hi, period) }
+
+// StepLoad jumps from lo to hi during [from, to).
+func StepLoad(lo, hi, from, to float64) LoadPattern { return harness.StepLoad(lo, hi, from, to) }
+
+// ConstantBudget caps power at a fixed fraction of the machine's
+// reference maximum.
+func ConstantBudget(frac float64) BudgetPattern { return harness.ConstantBudget(frac) }
+
+// StepBudget uses lo during [from, to) and hi elsewhere.
+func StepBudget(hi, lo, from, to float64) BudgetPattern { return harness.StepBudget(hi, lo, from, to) }
+
+// TailBench returns the five latency-critical service profiles
+// (Xapian, Masstree, ImgDNN, Moses, Silo).
+func TailBench() []*Profile { return workload.TailBench() }
+
+// SPEC returns the 28 SPEC CPU2006-like batch profiles.
+func SPEC() []*Profile { return workload.SPEC() }
+
+// AppByName looks up a catalog application.
+func AppByName(name string) (*Profile, error) { return workload.ByName(name) }
+
+// SplitTrainTest partitions the SPEC catalog into offline-training and
+// testing applications (§VII-A).
+func SplitTrainTest(seed uint64, nTrain int) (train, test []*Profile) {
+	return workload.SplitTrainTest(seed, nTrain)
+}
+
+// Mix builds a multiprogrammed batch mix of n jobs drawn from pool.
+func Mix(seed uint64, pool []*Profile, n int) []*Profile { return workload.Mix(seed, pool, n) }

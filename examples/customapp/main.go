@@ -1,0 +1,66 @@
+// Customapp: bring your own application model. The runtime never needs
+// to have seen your service before — that is the point of the
+// collaborative-filtering reconstruction. Here we define a fictional
+// "vectordb" similarity-search service (memory-hungry, load/store
+// bound, spiky queries) plus a custom batch kernel, and let CuttleSys
+// figure them out online from two 1 ms profiles per quantum.
+package main
+
+import (
+	"fmt"
+
+	"cuttlesys"
+)
+
+func main() {
+	// A latency-critical vector-similarity service: big working set,
+	// pointer-chasing (LS-bound), moderate ILP, heavy-tailed queries.
+	vectordb := &cuttlesys.Profile{
+		Name:  "vectordb",
+		Class: cuttlesys.LatencyCritical,
+		ILP:   2.0, FESens: 0.15, BESens: 0.05, LSSens: 0.7,
+		BrMPKI:  2.0,
+		MemFrac: 0.46, L1MissRate: 0.14, MLP: 6.5,
+		WSWays: 6, MissFloor: 0.2, MissCeil: 0.85, MissSteep: 1.3,
+		Activity: 0.85,
+		MaxQPS:   12000, QoSTargetMs: 6, QuerySigma: 0.6, SatUtil: 0.75,
+	}
+	if err := vectordb.Validate(); err != nil {
+		panic(err)
+	}
+
+	// Batch side: a custom compression kernel plus catalog apps.
+	zstdish := &cuttlesys.Profile{
+		Name: "zstd-worker",
+		ILP:  2.6, FESens: 0.5, BESens: 0.45, LSSens: 0.3,
+		BrMPKI:  6,
+		MemFrac: 0.32, L1MissRate: 0.07, MLP: 2.2,
+		WSWays: 1.5, MissFloor: 0.05, MissCeil: 0.5, MissSteep: 1.5,
+		Activity: 0.95,
+	}
+	if err := zstdish.Validate(); err != nil {
+		panic(err)
+	}
+	_, pool := cuttlesys.SplitTrainTest(1, 16)
+	batch := cuttlesys.Mix(5, pool, 12)
+	for i := 0; i < 4; i++ {
+		w := *zstdish
+		w.Name = fmt.Sprintf("zstd-worker#%d", i+1)
+		batch = append(batch, &w)
+	}
+
+	m := cuttlesys.NewMachine(cuttlesys.MachineSpec{
+		Seed: 5, LC: vectordb, Batch: batch, Reconfigurable: true,
+	})
+	rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: 5})
+	res := cuttlesys.Run(m, rt, 20,
+		cuttlesys.ConstantLoad(0.7), cuttlesys.ConstantBudget(0.75))
+
+	fmt.Println("CuttleSys managing a never-before-seen service:")
+	for _, s := range res.Slices {
+		fmt.Printf("%4.1fs  p99 %6.2f/%0.0f ms   LC %s/%.0fw   gmean %.2f BIPS\n",
+			s.T, s.P99Ms, s.QoSMs, s.LCCoreCfg, s.LCCacheWays, s.GmeanBIPS)
+	}
+	fmt.Printf("\nQoS violations: %d; worst p99/QoS: %.2f\n",
+		res.QoSViolations(), res.WorstP99Ratio())
+}

@@ -1,0 +1,45 @@
+// Powercap: the paper's Fig. 8b scenario — a datacenter-level power
+// manager drops this server's budget from 90 % to 60 % mid-run (e.g.
+// to ride through a cooling event) and later restores it. CuttleSys
+// must keep the Silo OLTP service inside its QoS while squeezing the
+// batch jobs into the smaller budget, and give the throughput back
+// when the budget returns.
+package main
+
+import (
+	"fmt"
+
+	"cuttlesys"
+)
+
+func main() {
+	lc, err := cuttlesys.AppByName("silo")
+	if err != nil {
+		panic(err)
+	}
+	_, pool := cuttlesys.SplitTrainTest(1, 16)
+	m := cuttlesys.NewMachine(cuttlesys.MachineSpec{
+		Seed:           11,
+		LC:             lc,
+		Batch:          cuttlesys.Mix(11, pool, 16),
+		Reconfigurable: true,
+	})
+	rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: 11})
+
+	const slices = 30
+	horizon := float64(slices) * cuttlesys.SliceDur
+	budget := cuttlesys.StepBudget(0.9, 0.6, 0.3*horizon, 0.7*horizon)
+	res := cuttlesys.Run(m, rt, slices, cuttlesys.ConstantLoad(0.8), budget)
+
+	fmt.Println("time   budget(W)  power(W)  over?  p99(ms)  gmean-BIPS")
+	for _, s := range res.Slices {
+		over := ""
+		if s.AvgPowerW > s.BudgetW*1.02 {
+			over = "OVER"
+		}
+		fmt.Printf("%4.1fs  %9.1f  %8.1f  %5s  %7.2f  %10.2f\n",
+			s.T, s.BudgetW, s.AvgPowerW, over, s.P99Ms, s.GmeanBIPS)
+	}
+	fmt.Printf("\nbudget violations (>5%%): %d; QoS violations: %d\n",
+		res.BudgetViolations(0.05), res.QoSViolations())
+}

@@ -1,0 +1,46 @@
+// Quickstart: colocate the Xapian websearch service with a 16-job SPEC
+// mix on a 32-core reconfigurable machine, let CuttleSys manage it for
+// two seconds under a 70 % power cap, and print what happened.
+package main
+
+import (
+	"fmt"
+
+	"cuttlesys"
+)
+
+func main() {
+	// Pick the latency-critical service and build a batch mix from the
+	// applications the runtime has NOT seen during offline training.
+	lc, err := cuttlesys.AppByName("xapian")
+	if err != nil {
+		panic(err)
+	}
+	_, pool := cuttlesys.SplitTrainTest(1, 16)
+	batch := cuttlesys.Mix(42, pool, 16)
+
+	// A 32-core machine with reconfigurable cores: 16 cores serve
+	// Xapian, 16 run the batch jobs, all sharing a 32-way LLC, DRAM
+	// bandwidth and the power budget.
+	m := cuttlesys.NewMachine(cuttlesys.MachineSpec{
+		Seed:           42,
+		LC:             lc,
+		Batch:          batch,
+		Reconfigurable: true,
+	})
+
+	// The CuttleSys runtime with the paper's default parameters.
+	rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: 42})
+
+	// Two seconds at 80 % load under a 70 % power cap.
+	res := cuttlesys.Run(m, rt, 20,
+		cuttlesys.ConstantLoad(0.8), cuttlesys.ConstantBudget(0.7))
+
+	fmt.Println("slice  p99(ms)  QoS(ms)  gmean-BIPS  power(W)  budget(W)  LC-config")
+	for _, s := range res.Slices {
+		fmt.Printf("%5.1f  %7.2f  %7.0f  %10.2f  %8.1f  %9.1f  %s\n",
+			s.T, s.P99Ms, s.QoSMs, s.GmeanBIPS, s.AvgPowerW, s.BudgetW, s.LCCoreCfg)
+	}
+	fmt.Printf("\ntotal batch work: %.1f billion instructions, QoS violations: %d\n",
+		res.TotalInstrB(), res.QoSViolations())
+}

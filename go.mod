@@ -1,0 +1,3 @@
+module cuttlesys
+
+go 1.22

@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/harness"
+	"cuttlesys/internal/perf"
+	"cuttlesys/internal/power"
+	"cuttlesys/internal/qsim"
+	"cuttlesys/internal/sim"
+	"cuttlesys/internal/workload"
+)
+
+// Asymmetric is the asymmetric-multicore baseline (§VII-C): fixed big
+// ({6,6,6}) and little ({2,2,2}) cores. In Oracle mode the number of
+// big and little cores is chosen optimally each timeslice using the
+// true performance and power models with zero migration overhead — the
+// paper's "oracle-like" upper bound. In fixed 50-50 mode the design
+// has 16 big and 16 little cores and the scheduler only chooses
+// placements within that constraint.
+type Asymmetric struct {
+	// Oracle selects per-slice optimal big/little counts; false is the
+	// fixed 50-50 design.
+	Oracle bool
+
+	lc      *workload.Profile
+	batch   []*workload.Profile
+	nCores  int
+	lcCores int
+	pm      *perf.Model
+	wm      *power.Model
+}
+
+var big = config.Widest
+var little = config.Narrowest
+
+// NewAsymmetric builds the baseline for machine m (fixed cores).
+func NewAsymmetric(m *sim.Machine, oracle bool) *Asymmetric {
+	a := &Asymmetric{
+		Oracle: oracle,
+		lc:     m.LC(),
+		batch:  m.Batch(),
+		nCores: m.NCores(),
+		pm:     perf.New(false),
+		wm:     power.New(false),
+	}
+	if a.lc != nil {
+		a.lcCores = m.NCores() / 2
+	}
+	return a
+}
+
+// Name implements harness.Scheduler.
+func (a *Asymmetric) Name() string {
+	if a.Oracle {
+		return "asymm-oracle"
+	}
+	return "asymm-50-50"
+}
+
+// ProfilePhases implements harness.Scheduler; the oracle needs no
+// measurements (it has the true models) and the 50-50 design follows
+// the same decision procedure.
+func (*Asymmetric) ProfilePhases(qps, budgetW float64) []harness.Phase { return nil }
+
+// lcNeedsBig reports whether the LC service requires big cores to meet
+// QoS at the offered load, using the analytic M/G/k tail approximation
+// with headroom for colocation interference.
+func (a *Asymmetric) lcNeedsBig(qps float64) bool {
+	if qps <= 0 {
+		return false
+	}
+	q := a.pm.QueryInstr(a.lc)
+	ipc := a.pm.IPC(a.lc, little, 4, 1.2)
+	meanSvc := q / (ipc * a.pm.FreqGHz() * 1e9)
+	if qps*meanSvc/float64(a.lcCores) > 0.75 {
+		return true
+	}
+	p99 := qsim.P99Analytic(a.lcCores, qps, meanSvc, a.lc.QuerySigma)
+	return p99*1e3 > 0.8*a.lc.QoSTargetMs
+}
+
+// Decide implements harness.Scheduler.
+func (a *Asymmetric) Decide(profile []sim.PhaseResult, qps, budgetW float64) (sim.Allocation, float64) {
+	n := len(a.batch)
+	alloc := sim.Allocation{Batch: make([]sim.BatchAssign, n)}
+
+	bigBudget := a.nCores // oracle: any split
+	lcOnBig := false
+	if a.lc != nil {
+		alloc.LCCores = a.lcCores
+		alloc.LCCache = config.FourWays
+		lcOnBig = a.lcNeedsBig(qps)
+		if lcOnBig {
+			alloc.LCCore = big
+		} else {
+			alloc.LCCore = little
+		}
+	}
+	if !a.Oracle {
+		bigBudget = a.nCores / 2
+		if lcOnBig {
+			bigBudget -= a.lcCores
+			if bigBudget < 0 {
+				bigBudget = 0
+			}
+		}
+	} else {
+		bigBudget = a.nCores - alloc.LCCores
+	}
+
+	// Per-job big/little choice: start everyone little, then upgrade by
+	// log-throughput gain per watt (the geometric-mean objective is a
+	// sum of logs) while the budget and the big-core count allow.
+	type jobEval struct {
+		density        float64
+		i              int
+		powerB, powerL float64
+		gain           float64
+	}
+	evals := make([]jobEval, n)
+	powerL := make([]float64, n)
+	lcPower := 0.0
+	if a.lc != nil {
+		ipc := a.pm.IPC(a.lc, alloc.LCCore, 4, 1.2)
+		meanSvc := a.pm.QueryInstr(a.lc) / (ipc * a.pm.FreqGHz() * 1e9)
+		util := math.Min(1, qps*meanSvc/float64(alloc.LCCores))
+		lcPower = a.wm.Core(a.lc, alloc.LCCore, ipc*util) * float64(alloc.LCCores)
+	}
+	budgetLeft := budgetW - fixedChipPower(a.nCores) - lcPower
+	for i, app := range a.batch {
+		ipcB := a.pm.IPC(app, big, 2, 1.2)
+		ipcL := a.pm.IPC(app, little, 2, 1.2)
+		evals[i] = jobEval{
+			i:      i,
+			powerB: a.wm.Core(app, big, ipcB),
+			powerL: a.wm.Core(app, little, ipcL),
+			gain:   math.Log(ipcB / ipcL),
+		}
+		evals[i].density = evals[i].gain /
+			math.Max(evals[i].powerB-evals[i].powerL, 1e-9)
+		powerL[i] = evals[i].powerL
+		alloc.Batch[i] = sim.BatchAssign{Core: little, Cache: config.OneWay}
+		budgetLeft -= evals[i].powerL
+	}
+	sort.Slice(evals, func(x, y int) bool { return evals[x].density > evals[y].density })
+	bigs := 0
+	for _, e := range evals {
+		if bigs >= bigBudget {
+			break
+		}
+		delta := e.powerB - e.powerL
+		if delta <= budgetLeft {
+			alloc.Batch[e.i].Core = big
+			budgetLeft -= delta
+			bigs++
+		}
+	}
+
+	// If even all-little exceeds the budget, gate little cores in
+	// descending power order.
+	for budgetLeft < 0 {
+		worst, wi := 0.0, -1
+		for i := range alloc.Batch {
+			if alloc.Batch[i].Gated || alloc.Batch[i].Core != little {
+				continue
+			}
+			if powerL[i] > worst {
+				worst, wi = powerL[i], i
+			}
+		}
+		if wi < 0 {
+			break
+		}
+		alloc.Batch[wi].Gated = true
+		budgetLeft += worst - power.GatedCoreW
+	}
+
+	// The paper's asymmetric baseline manages core types only; the LLC
+	// stays hardware-shared (way partitioning is the gating+wp
+	// variant's distinguishing feature, §VII-B).
+	alloc.NoPartition = true
+	return alloc, 0
+}
+
+// EndSlice implements harness.Scheduler.
+func (*Asymmetric) EndSlice(steady sim.PhaseResult, qps float64) {}
+
+var _ harness.Scheduler = (*Asymmetric)(nil)

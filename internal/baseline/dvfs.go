@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"math"
+
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/harness"
+	"cuttlesys/internal/power"
+	"cuttlesys/internal/rng"
+	"cuttlesys/internal/sim"
+	"cuttlesys/internal/workload"
+)
+
+// DVFSLevels are the per-core frequency steps available to the DVFS
+// baseline, GHz. The voltage range is razor thin (power.DVFSVdd), so
+// the lowest step saves far less power than width reconfiguration —
+// the §II-A motivation for going beyond DVFS.
+var DVFSLevels = []float64{4.0, 3.6, 3.2, 2.8, 2.4}
+
+// DVFS implements the maxBIPS policy (Isci et al. [29], §II-A1): per
+// slice it profiles each job once, then greedily assigns per-core DVFS
+// levels that maximise total BIPS under the power budget. Cores
+// hosting the latency-critical service stay at the top frequency to
+// protect QoS; when even the lowest level cannot meet the budget,
+// cores are gated in descending power order. Fixed (non-reconfigurable)
+// cores; no way partitioning — DVFS is the incumbent technique the
+// paper positions reconfiguration against.
+type DVFS struct {
+	lc           *workload.Profile
+	batch        []*workload.Profile
+	nCores       int
+	lcCores      int
+	profileNoise float64
+	r            *rng.RNG
+}
+
+// NewDVFS builds the baseline for machine m (fixed cores).
+func NewDVFS(m *sim.Machine, seed uint64) *DVFS {
+	d := &DVFS{
+		lc:           m.LC(),
+		batch:        m.Batch(),
+		nCores:       m.NCores(),
+		profileNoise: 0.05,
+		r:            rng.New(seed ^ 0xd7f5),
+	}
+	if d.lc != nil {
+		d.lcCores = m.NCores() / 2
+	}
+	return d
+}
+
+// Name implements harness.Scheduler.
+func (*DVFS) Name() string { return "dvfs-maxbips" }
+
+// ProfilePhases takes one 1 ms sample at the nominal frequency.
+func (d *DVFS) ProfilePhases(qps, budgetW float64) []harness.Phase {
+	a := sim.Uniform(len(d.batch), d.lc != nil, d.lcCores, config.Widest, config.OneWay)
+	a.NoPartition = true
+	return []harness.Phase{{Dur: 0.001, Alloc: a}}
+}
+
+// Decide implements maxBIPS: scale each profiled sample across the
+// DVFS levels with the analytical f·V² law, then greedily downclock
+// the cores with the least BIPS-per-watt-saved until the budget holds.
+func (d *DVFS) Decide(profile []sim.PhaseResult, qps, budgetW float64) (sim.Allocation, float64) {
+	n := len(d.batch)
+	alloc := sim.Uniform(n, d.lc != nil, d.lcCores, config.Widest, config.OneWay)
+	alloc.NoPartition = true
+	if len(profile) == 0 {
+		return alloc, 0
+	}
+	pr := profile[len(profile)-1]
+
+	// Per-job estimates at every level, scaled from the nominal sample:
+	// BIPS ∝ f (to first order), power per the f·V² law.
+	type jobLevels struct {
+		bips, pw []float64
+	}
+	jobs := make([]jobLevels, n)
+	level := make([]int, n)
+	for i := 0; i < n; i++ {
+		b0 := sim.Measure(d.r, pr.BatchBIPS[i], d.profileNoise)
+		p0 := sim.Measure(d.r, pr.BatchPowerW[i], d.profileNoise)
+		jl := jobLevels{bips: make([]float64, len(DVFSLevels)), pw: make([]float64, len(DVFSLevels))}
+		for l, f := range DVFSLevels {
+			frac := f / config.BaseFreqGHz
+			v := power.DVFSVdd(f) / power.DVFSVdd(config.BaseFreqGHz)
+			jl.bips[l] = b0 * frac
+			// Split the sample into a leakage-like and dynamic-like
+			// share (the model's widest-config proportions).
+			jl.pw[l] = p0 * (0.45*v + 0.55*frac*v*v)
+		}
+		jobs[i] = jl
+	}
+	lcPower := pr.LCCorePowerW
+
+	est := func() float64 {
+		total := fixedChipPower(d.nCores) + float64(d.lcCores)*lcPower
+		for i := range jobs {
+			if alloc.Batch[i].Gated {
+				total += power.GatedCoreW
+				continue
+			}
+			total += jobs[i].pw[level[i]]
+		}
+		return total
+	}
+
+	// Greedy: repeatedly take the downclock step that costs the least
+	// BIPS per watt saved.
+	for est() > budgetW {
+		best, bestCost := -1, math.Inf(1)
+		for i := range jobs {
+			if alloc.Batch[i].Gated || level[i] == len(DVFSLevels)-1 {
+				continue
+			}
+			dB := jobs[i].bips[level[i]] - jobs[i].bips[level[i]+1]
+			dP := jobs[i].pw[level[i]] - jobs[i].pw[level[i]+1]
+			if dP <= 0 {
+				continue
+			}
+			if cost := dB / dP; cost < bestCost {
+				bestCost, best = cost, i
+			}
+		}
+		if best < 0 {
+			break // every core at the floor; gate below
+		}
+		level[best]++
+	}
+	// Voltage floor reached and still over budget: gate whole cores in
+	// descending power, as the gating baseline does.
+	for est() > budgetW {
+		worst, wi := 0.0, -1
+		for i := range jobs {
+			if alloc.Batch[i].Gated {
+				continue
+			}
+			if p := jobs[i].pw[level[i]]; p > worst {
+				worst, wi = p, i
+			}
+		}
+		if wi < 0 {
+			break
+		}
+		alloc.Batch[wi].Gated = true
+	}
+
+	for i := range alloc.Batch {
+		if !alloc.Batch[i].Gated {
+			alloc.Batch[i].FreqGHz = DVFSLevels[level[i]]
+		}
+	}
+	return alloc, 0
+}
+
+// EndSlice implements harness.Scheduler.
+func (*DVFS) EndSlice(steady sim.PhaseResult, qps float64) {}
+
+var _ harness.Scheduler = (*DVFS)(nil)

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"math"
+
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/dds"
+	"cuttlesys/internal/ga"
+	"cuttlesys/internal/power"
+	"cuttlesys/internal/sgd"
+	"cuttlesys/internal/sim"
+)
+
+// Decide implements the single-service harness.Scheduler entry point.
+func (rt *Runtime) Decide(profile []sim.PhaseResult, qps, budgetW float64) (sim.Allocation, float64) {
+	return rt.DecideMulti(profile, []float64{qps}, budgetW)
+}
+
+// DecideMulti implements the Resource Controller (§IV-B, Fig. 2): it
+// folds the profiling samples into the matrices, reconstructs the
+// surfaces, fixes each latency-critical service's configuration via
+// its QoS scan, explores the batch configuration space with parallel
+// DDS, and enforces the power budget by gating cores when necessary.
+// qps carries one offered load per service, primary first.
+func (rt *Runtime) DecideMulti(profile []sim.PhaseResult, qps []float64, budgetW float64) (sim.Allocation, float64) {
+	rt.slice++
+	rt.observeProfiles(profile)
+	thr, pwr, lat, svc := rt.reconstructAll()
+
+	// --- latency-critical services: QoS scan per service (§VI-A) ---
+	lcRes := make([]config.Resource, len(rt.svcs))
+	for k, sv := range rt.svcs {
+		res, _ := rt.scanQoS(sv, k, lat, pwr, svc, loadAt(qps, k))
+		lcRes[k] = res
+		sv.predPwr = pwr.At(rt.lcPowerRow(k), res.Index())
+		sv.predLat = lat.At(rt.latRow(k), res.Index())
+		rt.relocate(sv, k, svc, loadAt(qps, k))
+	}
+
+	// --- batch jobs: design-space exploration over the 108-way
+	// per-job domain (§VI); parallel DDS by default, GA for Fig. 10 ---
+	nBatch := len(rt.batch)
+	var best []int
+	if nBatch > 0 {
+		obj := rt.objective(thr, pwr, lcRes, budgetW)
+		searchSeed := rt.p.Seed + uint64(rt.slice)*7919
+		var init [][]int
+		if rt.lastAlloc != nil && !rt.p.DisableWarmStart {
+			// Seed the previous allocation into the initial set: the
+			// search still explores globally, but ties resolve toward
+			// the incumbent, avoiding config churn between quanta.
+			prev := make([]int, nBatch)
+			for i, b := range rt.lastAlloc.Batch {
+				prev[i] = config.Resource{Core: b.Core, Cache: b.Cache}.Index()
+			}
+			init = [][]int{prev}
+		}
+		if rt.p.Searcher == SearchGA {
+			best = ga.Search(ga.Objective(obj), ga.Params{
+				Dims:       nBatch,
+				NumConfigs: config.NumResources,
+				Seed:       searchSeed,
+				Init:       init,
+			}).Best
+		} else {
+			params := rt.p.DDS
+			params.Dims = nBatch
+			params.NumConfigs = config.NumResources
+			params.Seed = searchSeed
+			params.Init = init
+			best = dds.Search(obj, params).Best
+		}
+	}
+
+	alloc := rt.buildAllocation(best, lcRes)
+	rt.repairCache(&alloc)
+	rt.enforceBudget(&alloc, pwr, budgetW)
+
+	if rt.p.TrackAccuracy {
+		rt.predThr = make([]float64, nBatch)
+		rt.predPwr = make([]float64, nBatch)
+		for i, b := range alloc.Batch {
+			if b.Gated {
+				rt.predThr[i], rt.predPwr[i] = 0, 0
+				continue
+			}
+			col := config.Resource{Core: b.Core, Cache: b.Cache}.Index()
+			rt.predThr[i] = thr.At(rt.batchRow(i), col)
+			rt.predPwr[i] = pwr.At(rt.batchRow(i), col)
+		}
+	}
+
+	cp := alloc
+	rt.lastAlloc = &cp
+	return alloc, rt.p.OverheadSec
+}
+
+// loadAt returns the offered load for service k, zero when absent.
+func loadAt(qps []float64, k int) float64 {
+	if k >= len(qps) {
+		return 0
+	}
+	return qps[k]
+}
+
+// observeProfiles extracts the widest/narrowest samples from the two
+// profiling windows and records them (with measurement noise) in the
+// matrices.
+func (rt *Runtime) observeProfiles(profile []sim.PhaseResult) {
+	if len(profile) < 2 {
+		return
+	}
+	a, b := profile[0], profile[1]
+	for i := range rt.batch {
+		wide, narrow := a, b
+		if i%2 != 0 { // odd jobs ran narrowest in window A
+			wide, narrow = b, a
+		}
+		row := rt.batchRow(i)
+		rt.thrM.Observe(row, rt.widestIdx, sim.Measure(rt.r, wide.BatchBIPS[i], rt.p.ProfileNoise))
+		rt.pwrM.Observe(row, rt.widestIdx, sim.Measure(rt.r, wide.BatchPowerW[i], rt.p.ProfileNoise))
+		rt.thrM.Observe(row, rt.narrowestIdx, sim.Measure(rt.r, narrow.BatchBIPS[i], rt.p.ProfileNoise))
+		rt.pwrM.Observe(row, rt.narrowestIdx, sim.Measure(rt.r, narrow.BatchPowerW[i], rt.p.ProfileNoise))
+	}
+	for k := range rt.svcs {
+		wideP, narrowP := servicePower(a, k), servicePower(b, k)
+		rt.pwrM.Observe(rt.lcPowerRow(k), rt.lcWidestIdx, sim.Measure(rt.r, wideP, rt.p.ProfileNoise))
+		rt.pwrM.Observe(rt.lcPowerRow(k), rt.lcNarrowIdx, sim.Measure(rt.r, narrowP, rt.p.ProfileNoise))
+	}
+}
+
+// servicePower extracts service k's per-core power from a phase result.
+func servicePower(pr sim.PhaseResult, k int) float64 {
+	if k == 0 {
+		return pr.LCCorePowerW
+	}
+	if k-1 < len(pr.ExtraLCPowerW) {
+		return pr.ExtraLCPowerW[k-1]
+	}
+	return 0
+}
+
+// scanQoS picks the cheapest configuration whose predicted tail
+// latency meets the (derated) QoS target for service k: the scan
+// prefers the lowest cache allocation, then the least predicted power
+// (§VI-A). The bool reports whether any configuration was feasible.
+func (rt *Runtime) scanQoS(sv *svcState, k int, lat, pwr, svc *sgd.Prediction, qps float64) (config.Resource, bool) {
+	if !sv.haveP99 {
+		// Cold start: no measured tail latency anchors the service's
+		// row yet, so predictions are pure extrapolation from the
+		// training variants. Run the first quantum at the strongest
+		// point; one slice of measurement calibrates the row.
+		return config.Resource{Core: config.Widest, Cache: config.FourWays}, true
+	}
+	if sv.lastP99Ms > sv.app.QoSTargetMs {
+		// Measured violation: jump to the widest configuration in the
+		// next timeslice (§VIII-D3, Fig. 8c) and let the backlog drain
+		// before resuming optimisation.
+		return config.Resource{Core: config.Widest, Cache: config.FourWays}, true
+	}
+	// Derate the QoS target while the running service's latency row is
+	// young: with few clean measurements the reconstruction leans on
+	// the training variants alone, and an optimistic error near the
+	// saturation knee costs hundreds of milliseconds of backlog.
+	confidence := 0.4 + 0.15*float64(sv.cleanSlices)
+	if confidence > 1 {
+		confidence = 1
+	}
+	target := rt.p.QoSSafety * sv.app.QoSTargetMs * confidence
+	lcRow := lat.Row(rt.latRow(k))
+	svcRow := svc.Row(rt.latRow(k))
+	bestIdx := -1
+	for j := 0; j < config.NumResources; j++ {
+		if lcRow[j] > target {
+			continue
+		}
+		// Utilisation veto: a configuration whose predicted mean
+		// service time would put the offered load above MaxUtil of the
+		// service's capacity is one queueing knee away from a backlog
+		// spiral — reject it no matter what the latency row claims.
+		// Predictions for configurations the service has never been
+		// measured on carry extra error, so they are derated by a
+		// probe margin before the check.
+		if !rt.p.DisableUtilVeto {
+			predUtil := qps * svcRow[j] * 1e-3 / float64(sv.cores)
+			if !rt.svcM.Known(rt.latRow(k), j) {
+				predUtil *= rt.p.ProbeMargin
+			}
+			if predUtil > rt.p.MaxUtil {
+				continue
+			}
+		}
+		if bestIdx < 0 {
+			bestIdx = j
+			continue
+		}
+		cur, inc := config.ResourceByIndex(j), config.ResourceByIndex(bestIdx)
+		switch {
+		case cur.Cache < inc.Cache:
+			bestIdx = j
+		case cur.Cache == inc.Cache &&
+			pwr.At(rt.lcPowerRow(k), j) < pwr.At(rt.lcPowerRow(k), bestIdx):
+			bestIdx = j
+		}
+	}
+	if bestIdx < 0 {
+		// Nothing predicted feasible: fall back to the strongest point.
+		return config.Resource{Core: config.Widest, Cache: config.FourWays}, false
+	}
+	return config.ResourceByIndex(bestIdx), true
+}
+
+// relocate adjusts one service's core count: reclaim one batch core
+// per timeslice while the measured latency violates QoS even on the
+// widest configuration (Fig. 8c), and yield one back when the measured
+// latency has sufficient slack (§VI-A, §VIII-D3). Yields are gated on
+// the predicted post-yield utilisation staying clear of the knee —
+// otherwise a service whose true requirement exceeds its initial
+// allocation would oscillate between yielding and violating.
+func (rt *Runtime) relocate(sv *svcState, k int, svcPred *sgd.Prediction, qps float64) {
+	violatingAtWidest := sv.haveP99 && sv.lastP99Ms > sv.app.QoSTargetMs &&
+		sv.lastRes.Core == config.Widest
+	if violatingAtWidest {
+		if rt.totalLCCores() < rt.nCores-1 {
+			sv.cores++
+		}
+		return
+	}
+	slackOK := sv.haveP99 && sv.lastP99Ms <= (1-rt.p.SlackYield)*sv.app.QoSTargetMs
+	if !slackOK || sv.cores <= sv.initCores {
+		return
+	}
+	// Post-yield utilisation at the current configuration must keep
+	// headroom below the veto threshold.
+	svcMs := svcPred.At(rt.latRow(k), sv.lastRes.Index())
+	if qps*svcMs*1e-3/float64(sv.cores-1) > 0.9*rt.p.MaxUtil {
+		return
+	}
+	sv.cores--
+}
+
+// totalLCCores sums the cores currently held by every service.
+func (rt *Runtime) totalLCCores() int {
+	n := 0
+	for _, sv := range rt.svcs {
+		n += sv.cores
+	}
+	return n
+}
+
+// objective builds the DDS objective (§VI-A): geometric-mean predicted
+// batch throughput with soft penalties on power and cache violations.
+// (The paper's printed objective penalises slack rather than violation
+// — an obvious typo; the intended max(0, violation) form is used, see
+// DESIGN.md §1.)
+func (rt *Runtime) objective(thr, pwr *sgd.Prediction, lcRes []config.Resource, budgetW float64) dds.Objective {
+	nBatch := len(rt.batch)
+	fixedPower := power.LLCWayW*config.LLCWays + power.UncorePerCoreW*float64(rt.nCores)
+	lcWays := 0.0
+	lcHalf := 0
+	for k, sv := range rt.svcs {
+		fixedPower += float64(sv.cores) * sv.predPwr
+		if lcRes[k].Cache == config.HalfWay {
+			lcHalf++
+		} else {
+			lcWays += lcRes[k].Cache.Ways()
+		}
+	}
+	// Precompute per-row prediction slices for lock-free concurrent reads.
+	thrRows := make([][]float64, nBatch)
+	pwrRows := make([][]float64, nBatch)
+	for i := 0; i < nBatch; i++ {
+		thrRows[i] = thr.Row(rt.batchRow(i))
+		pwrRows[i] = pwr.Row(rt.batchRow(i))
+	}
+	return func(x []int) float64 {
+		logSum := 0.0
+		powerW := fixedPower
+		ways := lcWays
+		halves := lcHalf
+		for i, j := range x {
+			logSum += math.Log(math.Max(thrRows[i][j], 1e-9))
+			powerW += pwrRows[i][j]
+			switch c := config.ResourceByIndex(j).Cache; c {
+			case config.HalfWay:
+				halves++
+			default:
+				ways += c.Ways()
+			}
+		}
+		ways += float64((halves + 1) / 2)
+		obj := math.Exp(logSum / float64(nBatch))
+		if over := powerW - budgetW; over > 0 {
+			obj -= rt.p.PenaltyPower * over
+		}
+		if over := ways - config.LLCWays; over > 0 {
+			obj -= rt.p.PenaltyCache * over
+		}
+		return obj
+	}
+}
+
+// buildAllocation converts the DDS decision vector plus the services'
+// choices into a machine allocation.
+func (rt *Runtime) buildAllocation(best []int, lcRes []config.Resource) sim.Allocation {
+	alloc := sim.Allocation{Batch: make([]sim.BatchAssign, len(rt.batch))}
+	for k, sv := range rt.svcs {
+		if k == 0 {
+			alloc.LCCores = sv.cores
+			alloc.LCCore = lcRes[k].Core
+			alloc.LCCache = lcRes[k].Cache
+			continue
+		}
+		alloc.ExtraLC = append(alloc.ExtraLC, sim.LCAssign{
+			Cores: sv.cores,
+			Core:  lcRes[k].Core,
+			Cache: lcRes[k].Cache,
+		})
+	}
+	for i := range alloc.Batch {
+		res := config.ResourceByIndex(best[i])
+		alloc.Batch[i] = sim.BatchAssign{Core: res.Core, Cache: res.Cache}
+	}
+	return alloc
+}
+
+// repairCache deterministically shrinks the largest batch cache
+// allocations until the way budget holds — the hard backstop behind
+// the soft penalty.
+func (rt *Runtime) repairCache(alloc *sim.Allocation) {
+	hasLC := len(rt.svcs) > 0
+	for alloc.TotalWays(hasLC) > config.LLCWays {
+		biggest, bi := config.HalfWay, -1
+		for i, b := range alloc.Batch {
+			if b.Gated {
+				continue
+			}
+			if b.Cache > biggest {
+				biggest, bi = b.Cache, i
+			}
+		}
+		if bi < 0 {
+			shrunk := false
+			if hasLC && alloc.LCCache > config.HalfWay {
+				alloc.LCCache = config.CacheAllocs[alloc.LCCache.Index()-1]
+				shrunk = true
+			}
+			for x := range alloc.ExtraLC {
+				if alloc.ExtraLC[x].Cache > config.HalfWay {
+					alloc.ExtraLC[x].Cache = config.CacheAllocs[alloc.ExtraLC[x].Cache.Index()-1]
+					shrunk = true
+					break
+				}
+			}
+			if !shrunk {
+				return // nothing left to shrink
+			}
+			continue
+		}
+		alloc.Batch[bi].Cache = config.CacheAllocs[alloc.Batch[bi].Cache.Index()-1]
+	}
+}
+
+// enforceBudget gates batch cores in descending order of predicted
+// power until the predicted chip power fits the budget (§VI-B). A
+// small tolerance avoids gating on prediction jitter; genuine
+// violations shrink within a timeslice as measurements flow back.
+func (rt *Runtime) enforceBudget(alloc *sim.Allocation, pwr *sgd.Prediction, budgetW float64) {
+	const tol = 1.02
+	fixed := power.LLCWayW*config.LLCWays + power.UncorePerCoreW*float64(rt.nCores)
+	for _, sv := range rt.svcs {
+		fixed += float64(sv.cores) * sv.predPwr
+	}
+	predicted := func() float64 {
+		total := fixed
+		for i, b := range alloc.Batch {
+			if b.Gated {
+				total += power.GatedCoreW
+				continue
+			}
+			col := config.Resource{Core: b.Core, Cache: b.Cache}.Index()
+			total += pwr.At(rt.batchRow(i), col)
+		}
+		return total
+	}
+	for predicted() > budgetW*tol {
+		// Gate the hungriest active job.
+		worst, wi := 0.0, -1
+		for i, b := range alloc.Batch {
+			if b.Gated {
+				continue
+			}
+			col := config.Resource{Core: b.Core, Cache: b.Cache}.Index()
+			if p := pwr.At(rt.batchRow(i), col); p > worst {
+				worst, wi = p, i
+			}
+		}
+		if wi < 0 {
+			return // everything already gated; LC + uncore is the floor
+		}
+		alloc.Batch[wi].Gated = true
+	}
+}

@@ -1,0 +1,527 @@
+// Package core implements the CuttleSys runtime — the paper's primary
+// contribution (§IV-§VI): an online resource manager for reconfigurable
+// multicores that each 100 ms decision quantum
+//
+//  1. profiles every application for 1 ms on the widest- and 1 ms on
+//     the narrowest-issue configuration with one LLC way (§VIII-A1),
+//  2. reconstructs the full throughput, tail-latency and power surfaces
+//     across all 108 resource configurations with three parallel
+//     instances of PQ-reconstruction SGD seeded by offline-characterised
+//     "known" applications (§V),
+//  3. fixes the latency-critical service's configuration by scanning
+//     the reconstructed latency row for the cheapest QoS-meeting point
+//     (§VI-A), then explores the batch jobs' configuration space with
+//     parallel Dynamically Dimensioned Search under soft power and
+//     cache penalties (§VI),
+//  4. runs the chosen allocation in steady state and writes the
+//     measured metrics back into the matrices so mispredictions are
+//     corrected in the next quantum (§IV-B).
+//
+// When no configuration satisfies QoS the runtime reclaims one core per
+// timeslice from the batch jobs; cores are yielded back once QoS is met
+// with slack (§VI-A). When even the all-narrowest allocation exceeds
+// the power budget, whole cores are gated in descending order of power
+// (§VI-B).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/dds"
+	"cuttlesys/internal/harness"
+	"cuttlesys/internal/perf"
+	"cuttlesys/internal/power"
+	"cuttlesys/internal/rng"
+	"cuttlesys/internal/sgd"
+	"cuttlesys/internal/sim"
+	"cuttlesys/internal/stats"
+	"cuttlesys/internal/workload"
+)
+
+// SearchAlgo selects the design-space explorer.
+type SearchAlgo int
+
+// Search algorithms: DDS is the paper's (default); GA reproduces
+// Flicker's searcher for the Fig. 10 comparison.
+const (
+	SearchDDS SearchAlgo = iota
+	SearchGA
+)
+
+// Params tunes the runtime. Zero values select the paper's settings.
+type Params struct {
+	// Seed drives profiling noise and the per-slice search seeds.
+	Seed uint64
+	// NTrainBatch is the number of offline-characterised SPEC
+	// applications seeding the throughput/power matrices. Default 16
+	// (§VIII-A2). They are drawn with workload.SplitTrainTest(TrainSeed,
+	// NTrainBatch); runs must build their mixes from the complement.
+	NTrainBatch int
+	// TrainSeed selects the training split. Default 1.
+	TrainSeed uint64
+	// NTrainLC is the number of offline-characterised latency-critical
+	// variants seeding the tail-latency matrix. Default 12.
+	NTrainLC int
+	// SGD overrides the reconstruction hyper-parameters.
+	SGD sgd.Params
+	// DDS overrides the search parameters (defaults follow Fig. 6).
+	DDS dds.Params
+	// OverheadSec is the scheduling compute charged per decision
+	// (reconstruction + search). Default 6.1 ms, the Table II total.
+	OverheadSec float64
+	// ProfileNoise and SteadyNoise are the relative sigmas of 1 ms
+	// profiling samples and full-slice measurements.
+	ProfileNoise, SteadyNoise float64
+	// QoSSafety derates the QoS target during the latency scan so
+	// prediction error does not park the service on the QoS boundary.
+	// Default 0.8.
+	QoSSafety float64
+	// SlackYield is the latency slack at which a relocated core is
+	// returned to the batch jobs. Default 0.2 (§VIII-D3).
+	SlackYield float64
+	// PenaltyPower and PenaltyCache weight the soft constraint
+	// penalties in the DDS objective. Default 2 (Fig. 6).
+	PenaltyPower, PenaltyCache float64
+	// MaxUtil is the highest predicted utilisation (offered load over
+	// service capacity) the QoS scan accepts for a candidate LC
+	// configuration. Default 0.85 — the saturation-knee guard.
+	MaxUtil float64
+	// TrackAccuracy records, for every applied configuration, the
+	// relative error between the reconstruction's prediction and the
+	// measured steady-state value — the Fig. 5b runtime-accuracy study.
+	TrackAccuracy bool
+	// Searcher selects the design-space exploration algorithm:
+	// parallel DDS (the paper's choice) or the genetic algorithm used
+	// for the Fig. 10 comparison.
+	Searcher SearchAlgo
+	// ProbeMargin inflates the predicted utilisation of configurations
+	// the running service has never been measured on: their predicted
+	// service time comes purely from the training variants, and an
+	// optimistic error there must still leave the service below the
+	// knee. Default 1.2.
+	ProbeMargin float64
+
+	// Ablation switches: each disables one of the runtime's guards so
+	// its contribution can be measured (cmd/ablation). All default off.
+	//
+	// DisableUtilVeto removes the utilisation check from the QoS scan,
+	// trusting the reconstructed latency row alone.
+	DisableUtilVeto bool
+	// DisableLatencyEWMA overwrites latency matrix entries with raw
+	// per-slice measurements instead of the exponentially weighted
+	// blend.
+	DisableLatencyEWMA bool
+	// DisableDrainGuard records tail-latency measurements even for
+	// slices that began with violated QoS (backlog transients).
+	DisableDrainGuard bool
+	// DisableWarmStart withholds the previous allocation from the
+	// search's initial point set.
+	DisableWarmStart bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.NTrainBatch == 0 {
+		p.NTrainBatch = 16
+	}
+	if p.TrainSeed == 0 {
+		p.TrainSeed = 1
+	}
+	if p.NTrainLC == 0 {
+		p.NTrainLC = 12
+	}
+	if p.SGD.Factors == 0 {
+		p.SGD.Factors = 6
+	}
+	if p.SGD.Reg == 0 {
+		p.SGD.Reg = 0.03
+	}
+	if p.SGD.MaxIter == 0 {
+		p.SGD.MaxIter = 300
+	}
+	p.SGD.SVDInit = true
+	p.SGD.LogSpace = true
+	if p.OverheadSec == 0 {
+		p.OverheadSec = 0.0061
+	}
+	if p.ProfileNoise == 0 {
+		p.ProfileNoise = 0.05
+	}
+	if p.SteadyNoise == 0 {
+		p.SteadyNoise = 0.02
+	}
+	if p.QoSSafety == 0 {
+		p.QoSSafety = 0.8
+	}
+	if p.SlackYield == 0 {
+		p.SlackYield = 0.2
+	}
+	if p.PenaltyPower == 0 {
+		p.PenaltyPower = 2
+	}
+	if p.PenaltyCache == 0 {
+		p.PenaltyCache = 2
+	}
+	if p.MaxUtil == 0 {
+		p.MaxUtil = 0.85
+	}
+	if p.ProbeMargin == 0 {
+		p.ProbeMargin = 1.2
+	}
+	if p.DDS.Workers == 0 {
+		p.DDS.Workers = 8
+	}
+	return p
+}
+
+// svcState tracks one latency-critical service's scheduling state.
+type svcState struct {
+	app          *workload.Profile
+	cores        int
+	initCores    int
+	lastRes      config.Resource
+	lastP99Ms    float64
+	haveP99      bool
+	prevViolated bool // previous slice missed QoS (drain in progress)
+	cleanSlices  int  // slices whose latency measurement was usable
+	predPwr      float64
+	predLat      float64
+}
+
+// Runtime is the CuttleSys scheduler. It observes the machine only
+// through profiling and steady-state measurements; the performance and
+// power models are used solely to characterise the offline training
+// applications, which by construction exclude the running jobs. It
+// manages any number of latency-critical services (§VII-A), each with
+// its own row in the latency and service-time matrices, QoS scan and
+// core-relocation state.
+type Runtime struct {
+	p      Params
+	lc     *workload.Profile
+	batch  []*workload.Profile
+	nCores int
+
+	// Reconstruction matrices (§V). Throughput rows: NTrainBatch known
+	// apps then the running batch jobs. Power rows: the same plus one
+	// final row for the LC service. Latency and service-time rows:
+	// NTrainLC known LC variants then the running LC service. The
+	// service-time matrix backs the QoS scan's utilisation veto: mean
+	// service time is IPC-shaped (no queueing knee), so its
+	// reconstruction is accurate enough to predict which
+	// configurations would saturate at the offered load.
+	thrM, pwrM, latM, svcM *sgd.Matrix
+
+	// svcs holds per-service scheduling state, primary service first.
+	// Empty on batch-only machines.
+	svcs []*svcState
+
+	lastAlloc *sim.Allocation
+	slice     int
+	r         *rng.RNG
+
+	// Pending per-slice predictions and the accumulated error log
+	// (TrackAccuracy).
+	predThr, predPwr []float64
+	accErrs          map[string][]float64
+
+	widestIdx, narrowestIdx int
+	// LC profiling samples are taken at the service's four-way cache
+	// allocation (it holds its ways during the 1 ms windows), so its
+	// power observations land in the four-way columns.
+	lcWidestIdx, lcNarrowIdx int
+}
+
+var (
+	_ harness.Scheduler      = (*Runtime)(nil)
+	_ harness.MultiScheduler = (*Runtime)(nil)
+)
+
+// New builds a runtime for the machine's job set. The offline training
+// characterisation (known-application rows) is computed here, so
+// construction performs the one-time work a datacenter would amortise
+// across deployments.
+func New(m *sim.Machine, params Params) *Runtime {
+	p := params.withDefaults()
+	lc := m.LC()
+	batch := m.Batch()
+	nBatch := len(batch)
+
+	rt := &Runtime{
+		p:            p,
+		lc:           lc,
+		batch:        batch,
+		nCores:       m.NCores(),
+		r:            rng.New(p.Seed ^ 0x9e3779b97f4a7c15),
+		widestIdx:    config.Resource{Core: config.Widest, Cache: config.OneWay}.Index(),
+		narrowestIdx: config.Resource{Core: config.Narrowest, Cache: config.OneWay}.Index(),
+		lcWidestIdx:  config.Resource{Core: config.Widest, Cache: config.FourWays}.Index(),
+		lcNarrowIdx:  config.Resource{Core: config.Narrowest, Cache: config.FourWays}.Index(),
+	}
+	services := []*workload.Profile{}
+	if lc != nil {
+		services = append(services, lc)
+		services = append(services, m.ExtraLCs()...)
+	}
+	for _, app := range services {
+		init := m.NCores() / 2 / len(services)
+		rt.svcs = append(rt.svcs, &svcState{
+			app:       app,
+			cores:     init,
+			initCores: init,
+			lastRes:   config.Resource{Core: config.Widest, Cache: config.FourWays},
+		})
+	}
+
+	// Offline characterisation of the known applications (§V): the
+	// training rows are fully observed. The models are the stand-in
+	// for the paper's offline zsim characterisation runs.
+	pm, wm := perf.New(true), power.New(true)
+	train, _ := workload.SplitTrainTest(p.TrainSeed, p.NTrainBatch)
+	rt.thrM = sgd.NewMatrix(p.NTrainBatch+nBatch, config.NumResources)
+	pwrRows := p.NTrainBatch + nBatch + len(rt.svcs)
+	rt.pwrM = sgd.NewMatrix(pwrRows, config.NumResources)
+	for i, app := range train {
+		bips, pwr := sim.BatchSurfaces(pm, wm, app)
+		rt.thrM.ObserveRow(i, bips)
+		rt.pwrM.ObserveRow(i, pwr)
+	}
+	if len(rt.svcs) > 0 {
+		rt.latM = sgd.NewMatrix(p.NTrainLC+len(rt.svcs), config.NumResources)
+		rt.svcM = sgd.NewMatrix(p.NTrainLC+len(rt.svcs), config.NumResources)
+		for i, row := range lcTrainingRows(p.TrainSeed, p.NTrainLC, rt.svcs[0].initCores) {
+			rt.latM.ObserveRow(i, row.lat)
+			rt.svcM.ObserveRow(i, row.svc)
+		}
+	}
+	return rt
+}
+
+type lcTrainKey struct {
+	trainSeed uint64
+	nTrainLC  int
+	cores     int
+}
+
+type lcTrainRow struct {
+	lat, svc []float64
+}
+
+var lcTrainCache sync.Map // lcTrainKey -> []lcTrainRow
+
+// lcTrainingRows characterises the offline latency-critical variants —
+// tail latency and mean service time across all 108 configurations.
+// Variants are characterised under a moderately loaded memory system
+// (inflation 1.35): the running service will share DRAM bandwidth with
+// 16 batch jobs, and training rows measured on an idle machine would
+// underpredict the latency of memory-sensitive configurations. The
+// characterisation is deterministic per (seed, count, cores), so sweeps
+// that build many runtimes share one cached copy.
+func lcTrainingRows(trainSeed uint64, nTrainLC, cores int) []lcTrainRow {
+	key := lcTrainKey{trainSeed, nTrainLC, cores}
+	if v, ok := lcTrainCache.Load(key); ok {
+		return v.([]lcTrainRow)
+	}
+	pm, wm := perf.New(true), power.New(true)
+	rows := make([]lcTrainRow, nTrainLC)
+	for i, variant := range workload.SyntheticLC(trainSeed+100, nTrainLC) {
+		lat, _ := sim.LCSurfaces(pm, wm, variant, cores, 0.8, trainSeed+uint64(i), 0.3, 1.35)
+		rows[i] = lcTrainRow{lat: lat, svc: sim.LCServiceTimes(pm, variant, 1.35)}
+	}
+	actual, _ := lcTrainCache.LoadOrStore(key, rows)
+	return actual.([]lcTrainRow)
+}
+
+// Name implements harness.Scheduler.
+func (rt *Runtime) Name() string { return "cuttlesys" }
+
+// batchRow maps batch job i to its matrix row.
+func (rt *Runtime) batchRow(i int) int { return rt.p.NTrainBatch + i }
+
+// lcPowerRow is service k's row in the power matrix.
+func (rt *Runtime) lcPowerRow(k int) int { return rt.p.NTrainBatch + len(rt.batch) + k }
+
+// latRow is service k's row in the latency and service-time matrices.
+func (rt *Runtime) latRow(k int) int { return rt.p.NTrainLC + k }
+
+// ProfilePhases implements the single-service harness.Scheduler entry.
+func (rt *Runtime) ProfilePhases(qps, budgetW float64) []harness.Phase {
+	return rt.ProfilePhasesMulti([]float64{qps}, budgetW)
+}
+
+// ProfilePhasesMulti implements §VIII-A1: two 1 ms windows; half the
+// batch cores run the widest and half the narrowest configuration
+// (swapped in the second window) to avoid a power overshoot, each with
+// one LLC way; every service's cores visit both extremes in turn with
+// half its cores held at the opposite extreme so queries keep
+// load-balancing onto fast cores.
+func (rt *Runtime) ProfilePhasesMulti(qps []float64, budgetW float64) []harness.Phase {
+	mk := func(lcCfg config.Core, flip bool) harness.Phase {
+		a := sim.Allocation{Batch: make([]sim.BatchAssign, len(rt.batch))}
+		for k, sv := range rt.svcs {
+			if k == 0 {
+				a.LCCores = sv.cores
+				a.LCCore = lcCfg
+				a.LCCache = config.FourWays
+				a.LCHalfBlend = true
+				continue
+			}
+			a.ExtraLC = append(a.ExtraLC, sim.LCAssign{
+				Cores: sv.cores, Core: lcCfg, Cache: config.FourWays, HalfBlend: true,
+			})
+		}
+		for i := range a.Batch {
+			cfg := config.Widest
+			if (i%2 == 0) == flip {
+				cfg = config.Narrowest
+			}
+			a.Batch[i] = sim.BatchAssign{Core: cfg, Cache: config.OneWay}
+		}
+		return harness.Phase{Dur: 0.001, Alloc: a}
+	}
+	return []harness.Phase{mk(config.Widest, false), mk(config.Narrowest, true)}
+}
+
+// AccuracyErrors returns the accumulated prediction-error samples in
+// percent, keyed by metric ("throughput", "power", "latency"). Only
+// populated with Params.TrackAccuracy.
+func (rt *Runtime) AccuracyErrors() map[string][]float64 { return rt.accErrs }
+
+// EndSlice implements the single-service harness.Scheduler entry.
+func (rt *Runtime) EndSlice(steady sim.PhaseResult, qps float64) {
+	rt.EndSliceMulti(steady, []float64{qps})
+}
+
+// EndSliceMulti writes the measured steady-state metrics back into the
+// matrices at the applied configurations (§IV-B step 5) and records
+// each service's tail latency for the next decision.
+func (rt *Runtime) EndSliceMulti(steady sim.PhaseResult, qps []float64) {
+	if rt.lastAlloc == nil {
+		return
+	}
+	alloc := rt.lastAlloc
+	mux := alloc.MultiplexFactor(rt.nCores)
+	if rt.p.TrackAccuracy && rt.accErrs == nil {
+		rt.accErrs = map[string][]float64{}
+	}
+	for i, b := range alloc.Batch {
+		if b.Gated || mux == 0 {
+			continue
+		}
+		col := config.Resource{Core: b.Core, Cache: b.Cache}.Index()
+		if rt.p.TrackAccuracy && rt.predThr != nil {
+			rt.accErrs["throughput"] = append(rt.accErrs["throughput"],
+				stats.RelErrPct(rt.predThr[i], steady.BatchBIPS[i]/mux))
+			rt.accErrs["power"] = append(rt.accErrs["power"],
+				stats.RelErrPct(rt.predPwr[i], steady.BatchPowerW[i]))
+		}
+		rt.thrM.Observe(rt.batchRow(i), col, sim.Measure(rt.r, steady.BatchBIPS[i]/mux, rt.p.SteadyNoise))
+		rt.pwrM.Observe(rt.batchRow(i), col, sim.Measure(rt.r, steady.BatchPowerW[i], rt.p.SteadyNoise))
+	}
+	for k, sv := range rt.svcs {
+		var res config.Resource
+		var sojourns []float64
+		var corePower, meanSvcMs float64
+		if k == 0 {
+			if alloc.LCCores <= 0 {
+				continue
+			}
+			res = config.Resource{Core: alloc.LCCore, Cache: alloc.LCCache}
+			sojourns = steady.Sojourns
+			corePower = steady.LCCorePowerW
+			meanSvcMs = steady.LCMeanSvc * 1e3
+		} else {
+			x := k - 1
+			if x >= len(alloc.ExtraLC) {
+				continue
+			}
+			res = config.Resource{Core: alloc.ExtraLC[x].Core, Cache: alloc.ExtraLC[x].Cache}
+			if x < len(steady.ExtraSojourns) {
+				sojourns = steady.ExtraSojourns[x]
+			}
+			if x < len(steady.ExtraLCPowerW) {
+				corePower = steady.ExtraLCPowerW[x]
+			}
+			if x < len(steady.ExtraMeanSvc) {
+				meanSvcMs = steady.ExtraMeanSvc[x] * 1e3
+			}
+		}
+		col := res.Index()
+		rt.pwrM.Observe(rt.lcPowerRow(k), col, sim.Measure(rt.r, corePower, rt.p.SteadyNoise))
+		if rt.p.TrackAccuracy && rt.predThr != nil {
+			rt.accErrs["power"] = append(rt.accErrs["power"],
+				stats.RelErrPct(sv.predPwr, corePower))
+		}
+		if len(sojourns) == 0 {
+			continue
+		}
+		p99 := stats.P99(sojourns) * 1e3
+		wasDraining := sv.prevViolated
+		sv.lastP99Ms = p99
+		sv.haveP99 = true
+		sv.prevViolated = p99 > sv.app.QoSTargetMs
+		sv.lastRes = res
+		// Tail latency is only meaningful over a full slice (§IV-B), so
+		// the latency matrix is updated here rather than from the 1 ms
+		// profiling windows. A slice that began with a violated QoS is
+		// still draining backlog: its p99 reflects the transient, not
+		// the configuration, and recording it would poison the column
+		// forever.
+		if rt.p.TrackAccuracy && rt.predThr != nil && !wasDraining && sv.predLat > 0 {
+			rt.accErrs["latency"] = append(rt.accErrs["latency"],
+				stats.RelErrPct(sv.predLat, p99))
+		}
+		if !wasDraining || rt.p.DisableDrainGuard {
+			// Exponentially weighted update: p99 near a saturation knee
+			// is noisy slice to slice, and a single lucky sample must
+			// not certify a marginal configuration.
+			v := p99
+			if !rt.p.DisableLatencyEWMA && rt.latM.Known(rt.latRow(k), col) {
+				v = 0.5*rt.latM.At(rt.latRow(k), col) + 0.5*p99
+			}
+			rt.latM.Observe(rt.latRow(k), col, v)
+			sv.cleanSlices++
+		}
+		// Mean service time is measurable regardless of backlog.
+		rt.svcM.Observe(rt.latRow(k), col,
+			sim.Measure(rt.r, meanSvcMs, rt.p.SteadyNoise))
+	}
+}
+
+// reconstructAll runs the reconstruction instances in parallel (§V).
+func (rt *Runtime) reconstructAll() (thr, pwr, lat, svc *sgd.Prediction) {
+	params := rt.p.SGD
+	params.Seed = rt.p.Seed + uint64(rt.slice)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		thr = sgd.ReconstructParallel(rt.thrM, params)
+	}()
+	go func() {
+		defer wg.Done()
+		pwr = sgd.ReconstructParallel(rt.pwrM, params)
+	}()
+	if rt.latM != nil {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			lat = sgd.ReconstructParallel(rt.latM, params)
+		}()
+		go func() {
+			defer wg.Done()
+			svc = sgd.ReconstructParallel(rt.svcM, params)
+		}()
+	}
+	wg.Wait()
+	return thr, pwr, lat, svc
+}
+
+// String describes the runtime's state for debugging.
+func (rt *Runtime) String() string {
+	total := 0
+	for _, sv := range rt.svcs {
+		total += sv.cores
+	}
+	return fmt.Sprintf("cuttlesys{slice=%d services=%d lcCores=%d}", rt.slice, len(rt.svcs), total)
+}

@@ -1,0 +1,243 @@
+// Package dds implements Dynamically Dimensioned Search (§VI, Alg. 2)
+// — the design-space exploration algorithm CuttleSys uses to pick a
+// per-job combination of core configurations and cache allocations.
+//
+// DDS (Tolson & Shoemaker [86]) perturbs a shrinking random subset of
+// the dimensions of the current best point: early iterations move many
+// dimensions (global exploration), late iterations few (local
+// refinement), with the inclusion probability 1 − log(i)/log(maxIter).
+// Perturbation magnitudes are Gaussian with standard deviation
+// r·#configs, reflected at the domain bounds.
+//
+// The parallel variant follows Alg. 2: workers share the global best
+// point at an iteration barrier, independently generate
+// pointsPerIteration candidates each, and worker groups use different
+// perturbation parameters r = (r1…r4) so they explore at different
+// scales (§VI-B). Worker 0 aggregates the per-worker bests between
+// barriers.
+package dds
+
+import (
+	"math"
+	"sync"
+
+	"cuttlesys/internal/rng"
+)
+
+// Objective scores a candidate decision vector; higher is better. Each
+// element of x is a configuration index in [0, NumConfigs). Objectives
+// must be safe for concurrent calls when Workers > 1.
+type Objective func(x []int) float64
+
+// Params configures a search. The defaults mirror Fig. 6 of the paper.
+type Params struct {
+	// Dims is the number of decision variables — one per batch job.
+	Dims int
+	// NumConfigs is the per-dimension domain size (#confs = 108: 27
+	// core configurations × 4 cache allocations, §VIII-A3).
+	NumConfigs int
+	// MaxIter is the number of barrier-synchronised iterations.
+	// Default 40 (Fig. 6).
+	MaxIter int
+	// PointsPerIter is the candidates each worker generates per
+	// iteration. Default 10 (Fig. 6).
+	PointsPerIter int
+	// InitialPoints is the size of the random starting set. Default 50
+	// (Fig. 6).
+	InitialPoints int
+	// R holds the perturbation parameters; worker w uses
+	// R[w·len(R)/workers] so each quarter of the workers explores at
+	// one scale (§VI-B). Default [0.2, 0.3, 0.4, 0.5] (Fig. 6).
+	R []float64
+	// Workers is the parallel width; 1 runs the original serial DDS.
+	// Default 1.
+	Workers int
+	// Seed drives all randomness.
+	Seed uint64
+	// Record retains every evaluated point in Result.Points — used by
+	// the Fig. 10a exploration comparison.
+	Record bool
+	// Init optionally provides starting points (e.g. the previous
+	// timeslice's allocation); each must have length Dims.
+	Init [][]int
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxIter == 0 {
+		p.MaxIter = 40
+	}
+	if p.PointsPerIter == 0 {
+		p.PointsPerIter = 10
+	}
+	if p.InitialPoints == 0 {
+		p.InitialPoints = 50
+	}
+	if len(p.R) == 0 {
+		p.R = []float64{0.2, 0.3, 0.4, 0.5}
+	}
+	if p.Workers == 0 {
+		p.Workers = 1
+	}
+	return p
+}
+
+// Point is one evaluated candidate.
+type Point struct {
+	X   []int
+	Val float64
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best    []int
+	BestVal float64
+	Evals   int
+	// Points holds every evaluated candidate when Params.Record is set.
+	Points []Point
+}
+
+// Search runs (parallel) DDS and returns the best point found. It
+// panics on invalid parameters.
+func Search(obj Objective, params Params) Result {
+	p := params.withDefaults()
+	if p.Dims <= 0 || p.NumConfigs <= 0 {
+		panic("dds: Dims and NumConfigs must be positive")
+	}
+	for _, x := range p.Init {
+		if len(x) != p.Dims {
+			panic("dds: Init point with wrong dimensionality")
+		}
+	}
+
+	root := rng.New(p.Seed)
+	var (
+		mu    sync.Mutex
+		rec   []Point
+		evals int
+	)
+	eval := func(x []int) float64 {
+		v := obj(x)
+		mu.Lock()
+		evals++
+		if p.Record {
+			cp := make([]int, len(x))
+			copy(cp, x)
+			rec = append(rec, Point{X: cp, Val: v})
+		}
+		mu.Unlock()
+		return v
+	}
+
+	// Initial random set (plus any seeded points), best becomes xbest.
+	best := make([]int, p.Dims)
+	bestVal := math.Inf(-1)
+	consider := func(x []int, v float64) {
+		if v > bestVal {
+			bestVal = v
+			copy(best, x)
+		}
+	}
+	for _, x := range p.Init {
+		consider(x, eval(x))
+	}
+	for i := len(p.Init); i < p.InitialPoints; i++ {
+		x := make([]int, p.Dims)
+		for d := range x {
+			x[d] = root.Intn(p.NumConfigs)
+		}
+		consider(x, eval(x))
+	}
+
+	workers := p.Workers
+	workerRNGs := make([]*rng.RNG, workers)
+	for w := range workerRNGs {
+		workerRNGs[w] = root.Split()
+	}
+
+	type localBest struct {
+		x   []int
+		val float64
+	}
+	locals := make([]localBest, workers)
+	for w := range locals {
+		locals[w] = localBest{x: make([]int, p.Dims)}
+	}
+
+	for iter := 1; iter <= p.MaxIter; iter++ {
+		// Inclusion probability shrinks with iteration (Alg. 2 line 10).
+		prob := 1 - math.Log(float64(iter))/math.Log(float64(p.MaxIter))
+		if p.MaxIter == 1 {
+			prob = 1
+		}
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				r := workerRNGs[w]
+				// Worker groups use different perturbation scales.
+				rw := p.R[w*len(p.R)/workers]
+				lb := &locals[w]
+				copy(lb.x, best)
+				lb.val = bestVal
+				cand := make([]int, p.Dims)
+				for pt := 0; pt < p.PointsPerIter; pt++ {
+					copy(cand, lb.x)
+					perturbed := false
+					for d := 0; d < p.Dims; d++ {
+						if r.Float64() < prob {
+							cand[d] = perturb(r, lb.x[d], rw, p.NumConfigs)
+							perturbed = true
+						}
+					}
+					if !perturbed {
+						// Alg. 2 perturbs at least one dimension.
+						d := r.Intn(p.Dims)
+						cand[d] = perturb(r, lb.x[d], rw, p.NumConfigs)
+					}
+					if v := eval(cand); v > lb.val {
+						lb.val = v
+						copy(lb.x, cand)
+					}
+				}
+			}(w)
+		}
+		wg.Wait() // barrier (Alg. 2 line 18)
+
+		// Worker 0's role: aggregate per-worker bests (Alg. 2 lines 19-20).
+		for w := 0; w < workers; w++ {
+			if locals[w].val > bestVal {
+				bestVal = locals[w].val
+				copy(best, locals[w].x)
+			}
+		}
+	}
+
+	return Result{Best: best, BestVal: bestVal, Evals: evals, Points: rec}
+}
+
+// perturb draws x + r·n·N(0,1) and reflects out-of-range values about
+// the violated bound (Alg. 2 lines 13-15).
+func perturb(r *rng.RNG, x int, rw float64, n int) int {
+	if n == 1 {
+		return 0
+	}
+	v := float64(x) + rw*float64(n)*r.Norm()
+	for v < 0 || v >= float64(n) {
+		if v < 0 {
+			v = -v
+		}
+		if v >= float64(n) {
+			v = 2*float64(n-1) - v
+		}
+	}
+	nv := int(math.Round(v))
+	if nv < 0 {
+		nv = 0
+	}
+	if nv >= n {
+		nv = n - 1
+	}
+	return nv
+}

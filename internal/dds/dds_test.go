@@ -1,0 +1,183 @@
+package dds
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cuttlesys/internal/rng"
+)
+
+// sphere is a simple concave objective with a known optimum.
+func sphere(target []int) Objective {
+	return func(x []int) float64 {
+		s := 0.0
+		for d := range x {
+			diff := float64(x[d] - target[d])
+			s -= diff * diff
+		}
+		return s
+	}
+}
+
+func TestFindsOptimumSerial(t *testing.T) {
+	target := []int{10, 50, 90, 30, 70}
+	res := Search(sphere(target), Params{
+		Dims: 5, NumConfigs: 108, Seed: 1, MaxIter: 80, PointsPerIter: 20,
+	})
+	for d := range target {
+		if math.Abs(float64(res.Best[d]-target[d])) > 6 {
+			t.Fatalf("dim %d: found %d, want near %d (best=%v val=%v)",
+				d, res.Best[d], target[d], res.Best, res.BestVal)
+		}
+	}
+}
+
+func TestParallelBeatsOrMatchesSerial(t *testing.T) {
+	target := []int{10, 50, 90, 30, 70, 20, 60, 100, 5, 80, 40, 55, 75, 15, 95, 35}
+	obj := sphere(target)
+	serial := Search(obj, Params{Dims: 16, NumConfigs: 108, Seed: 2})
+	parallel := Search(obj, Params{Dims: 16, NumConfigs: 108, Seed: 2, Workers: 8})
+	if parallel.BestVal < serial.BestVal-50 {
+		t.Fatalf("parallel DDS (%v) much worse than serial (%v)", parallel.BestVal, serial.BestVal)
+	}
+}
+
+func TestImprovesOverRandomStart(t *testing.T) {
+	target := []int{40, 40, 40, 40, 40, 40, 40, 40}
+	obj := sphere(target)
+	// Best of 50 random points vs full search.
+	r := rng.New(3)
+	randBest := math.Inf(-1)
+	for i := 0; i < 50; i++ {
+		x := make([]int, 8)
+		for d := range x {
+			x[d] = r.Intn(108)
+		}
+		if v := obj(x); v > randBest {
+			randBest = v
+		}
+	}
+	res := Search(obj, Params{Dims: 8, NumConfigs: 108, Seed: 3, Workers: 4})
+	if res.BestVal <= randBest {
+		t.Fatalf("search (%v) did not improve on random sampling (%v)", res.BestVal, randBest)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	obj := sphere([]int{5, 95, 55})
+	a := Search(obj, Params{Dims: 3, NumConfigs: 108, Seed: 7, Workers: 4})
+	b := Search(obj, Params{Dims: 3, NumConfigs: 108, Seed: 7, Workers: 4})
+	if a.BestVal != b.BestVal {
+		t.Fatalf("same seed, different results: %v vs %v", a.BestVal, b.BestVal)
+	}
+	for d := range a.Best {
+		if a.Best[d] != b.Best[d] {
+			t.Fatalf("same seed, different best points")
+		}
+	}
+}
+
+func TestInitSeedingUsed(t *testing.T) {
+	target := []int{33, 66, 99, 11}
+	obj := sphere(target)
+	// Seeding the exact optimum must pin the result there.
+	res := Search(obj, Params{
+		Dims: 4, NumConfigs: 108, Seed: 4, Init: [][]int{append([]int(nil), target...)},
+	})
+	if res.BestVal != 0 {
+		t.Fatalf("seeded optimum lost: best %v val %v", res.Best, res.BestVal)
+	}
+}
+
+func TestRecordPoints(t *testing.T) {
+	obj := sphere([]int{50, 50})
+	p := Params{Dims: 2, NumConfigs: 108, Seed: 5, Record: true}
+	res := Search(obj, p)
+	if len(res.Points) != res.Evals {
+		t.Fatalf("recorded %d points, evals %d", len(res.Points), res.Evals)
+	}
+	wd := p.withDefaults()
+	wantMin := wd.InitialPoints
+	if res.Evals < wantMin {
+		t.Fatalf("evals %d below initial set size %d", res.Evals, wantMin)
+	}
+	// Points must actually carry distinct coordinates, not aliased slices.
+	seen := false
+	for _, pt := range res.Points[1:] {
+		if pt.X[0] != res.Points[0].X[0] || pt.X[1] != res.Points[0].X[1] {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		t.Fatal("all recorded points identical — aliasing bug")
+	}
+}
+
+func TestPerturbStaysInBounds(t *testing.T) {
+	r := rng.New(6)
+	if err := quick.Check(func(xRaw, nRaw uint16) bool {
+		n := 1 + int(nRaw%500)
+		x := int(xRaw) % n
+		for _, rw := range []float64{0.2, 0.3, 0.4, 0.5, 2.0} {
+			v := perturb(r, x, rw, n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectiveConcurrencySafety(t *testing.T) {
+	// Run with many workers and an objective that checks it sees
+	// consistent-length inputs; run under -race in CI.
+	var mu sync.Mutex
+	calls := 0
+	obj := func(x []int) float64 {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		if len(x) != 6 {
+			t.Error("objective saw wrong dimensionality")
+		}
+		return -float64(x[0])
+	}
+	res := Search(obj, Params{Dims: 6, NumConfigs: 108, Seed: 8, Workers: 8})
+	if res.Evals != calls {
+		t.Fatalf("Evals %d != objective calls %d", res.Evals, calls)
+	}
+	if res.Best[0] > 10 {
+		t.Fatalf("trivial objective not optimised: %v", res.Best)
+	}
+}
+
+func TestPanicsOnBadParams(t *testing.T) {
+	for i, p := range []Params{
+		{Dims: 0, NumConfigs: 10},
+		{Dims: 3, NumConfigs: 0},
+		{Dims: 3, NumConfigs: 10, Init: [][]int{{1, 2}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: Search did not panic", i)
+				}
+			}()
+			Search(func([]int) float64 { return 0 }, p)
+		}()
+	}
+}
+
+func TestSingleConfigDomain(t *testing.T) {
+	res := Search(func(x []int) float64 { return 1 }, Params{Dims: 3, NumConfigs: 1, Seed: 9})
+	for _, v := range res.Best {
+		if v != 0 {
+			t.Fatal("single-config domain must stay at 0")
+		}
+	}
+}

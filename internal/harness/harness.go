@@ -1,0 +1,370 @@
+// Package harness drives scheduler-vs-machine experiments: it owns the
+// decision-quantum loop of §IV-B (Fig. 3) — profile, decide, hold
+// during scheduling overhead, run steady state, feed measurements back
+// — plus the time-varying load and power-budget patterns of §VIII-D
+// and the per-slice recording the evaluation figures are built from.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"cuttlesys/internal/sim"
+	"cuttlesys/internal/stats"
+)
+
+// SliceDur is the paper's decision quantum: 100 ms (§IV-B).
+const SliceDur = 0.1
+
+// Phase pairs an allocation with a duration inside one timeslice.
+type Phase struct {
+	Dur   float64
+	Alloc sim.Allocation
+}
+
+// Scheduler is a per-timeslice resource manager. The driver calls
+// ProfilePhases, executes them, hands the results to Decide, holds the
+// previous allocation for the returned overhead, runs the decided
+// allocation for the remainder of the slice and reports it back via
+// EndSlice.
+type Scheduler interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// ProfilePhases returns the measurement phases to execute at the
+	// head of the slice; may be empty for policies that do not profile.
+	ProfilePhases(qps, budgetW float64) []Phase
+	// Decide consumes the profiling results and returns the steady
+	// allocation plus the scheduling compute overhead (seconds) to
+	// charge before it takes effect.
+	Decide(profile []sim.PhaseResult, qps, budgetW float64) (sim.Allocation, float64)
+	// EndSlice receives the steady-state result for feedback (matrix
+	// updates, QoS tracking, relocation decisions).
+	EndSlice(steady sim.PhaseResult, qps float64)
+}
+
+// MultiScheduler manages a machine with several latency-critical
+// services (the paper's §VII-A generalisation); the qps slice carries
+// one offered load per service, primary first.
+type MultiScheduler interface {
+	Name() string
+	ProfilePhasesMulti(qps []float64, budgetW float64) []Phase
+	DecideMulti(profile []sim.PhaseResult, qps []float64, budgetW float64) (sim.Allocation, float64)
+	EndSliceMulti(steady sim.PhaseResult, qps []float64)
+}
+
+// LoadPattern yields the LC service's offered load fraction (of max
+// QPS) at a simulation time.
+type LoadPattern func(t float64) float64
+
+// ConstantLoad offers a fixed load fraction.
+func ConstantLoad(frac float64) LoadPattern {
+	return func(float64) float64 { return frac }
+}
+
+// DiurnalLoad models the §VIII-D1 experiment: a smooth day/night swing
+// between lo and hi load fractions with the given period (seconds).
+func DiurnalLoad(lo, hi, period float64) LoadPattern {
+	return func(t float64) float64 {
+		phase := (1 - math.Cos(2*math.Pi*t/period)) / 2 // 0→1→0
+		return lo + (hi-lo)*phase
+	}
+}
+
+// StepLoad jumps from lo to hi during [from, to) — the load spike of
+// the §VIII-D3 core-relocation experiment.
+func StepLoad(lo, hi, from, to float64) LoadPattern {
+	return func(t float64) float64 {
+		if t >= from && t < to {
+			return hi
+		}
+		return lo
+	}
+}
+
+// BudgetPattern yields the power budget (fraction of the machine's
+// reference max power) at a simulation time.
+type BudgetPattern func(t float64) float64
+
+// ConstantBudget caps power at a fixed fraction.
+func ConstantBudget(frac float64) BudgetPattern {
+	return func(float64) float64 { return frac }
+}
+
+// StepBudget uses lo during [from, to) and hi elsewhere — the §VIII-D2
+// power-budget step (90% → 60% → 90%).
+func StepBudget(hi, lo, from, to float64) BudgetPattern {
+	return func(t float64) float64 {
+		if t >= from && t < to {
+			return lo
+		}
+		return hi
+	}
+}
+
+// SliceRecord captures one timeslice of an experiment.
+type SliceRecord struct {
+	T        float64 // slice start time, seconds
+	LoadFrac float64
+	QPS      float64
+	BudgetW  float64
+
+	P99Ms    float64 // LC tail latency over the slice, ms (0 if no LC)
+	QoSMs    float64 // QoS target, ms
+	Violated bool    // QoS violated this slice
+
+	// Per-extra-service tail latency (multi-service machines).
+	ExtraP99Ms    []float64
+	ExtraQoSMs    []float64
+	ExtraViolated []bool
+	ExtraLCCores  []int
+	ExtraLCCfg    []string
+
+	BatchInstrB []float64 // per-job instructions executed, billions
+	TotalInstrB float64
+	GmeanBIPS   float64 // geometric mean of per-job throughput
+
+	AvgPowerW   float64
+	OverBudget  bool
+	LCCores     int
+	LCCoreCfg   string // chosen LC core config, e.g. "{6,2,6}"
+	LCCacheWays float64
+}
+
+// Result aggregates an experiment run.
+type Result struct {
+	Scheduler string
+	Slices    []SliceRecord
+}
+
+// TotalInstrB sums batch instructions over the whole run — the §VII-B
+// comparison metric ("total useful work executed over the same time").
+func (r *Result) TotalInstrB() float64 {
+	total := 0.0
+	for _, s := range r.Slices {
+		total += s.TotalInstrB
+	}
+	return total
+}
+
+// QoSViolations counts slices in which any service's p99 exceeded its
+// target.
+func (r *Result) QoSViolations() int {
+	n := 0
+	for _, s := range r.Slices {
+		violated := s.Violated
+		for _, v := range s.ExtraViolated {
+			violated = violated || v
+		}
+		if violated {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanGmeanBIPS averages the per-slice geometric-mean batch throughput.
+func (r *Result) MeanGmeanBIPS() float64 {
+	vals := make([]float64, 0, len(r.Slices))
+	for _, s := range r.Slices {
+		vals = append(vals, s.GmeanBIPS)
+	}
+	return stats.Mean(vals)
+}
+
+// WorstP99Ratio returns the maximum p99/QoS ratio across slices.
+func (r *Result) WorstP99Ratio() float64 {
+	worst := 0.0
+	for _, s := range r.Slices {
+		if s.QoSMs > 0 {
+			if ratio := s.P99Ms / s.QoSMs; ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	return worst
+}
+
+// BudgetViolations counts slices whose average power exceeded budget
+// by more than tolFrac.
+func (r *Result) BudgetViolations(tolFrac float64) int {
+	n := 0
+	for _, s := range r.Slices {
+		if s.AvgPowerW > s.BudgetW*(1+tolFrac) {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes slices timeslices of the scheduler against the machine.
+// The load and budget patterns are sampled at each slice start; budget
+// is expressed as a fraction of the machine's reference MaxPowerW.
+func Run(m *sim.Machine, s Scheduler, slices int, load LoadPattern, budget BudgetPattern) *Result {
+	return runImpl(m, singleAdapter{s}, slices, []LoadPattern{load}, budget)
+}
+
+// RunMulti executes a multi-service experiment: one load pattern per
+// latency-critical service, primary first.
+func RunMulti(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern) *Result {
+	return runImpl(m, s, slices, loads, budget)
+}
+
+// singleAdapter lifts a single-service Scheduler into the multi
+// interface for the shared driver.
+type singleAdapter struct{ s Scheduler }
+
+func (a singleAdapter) Name() string { return a.s.Name() }
+func (a singleAdapter) ProfilePhasesMulti(qps []float64, budgetW float64) []Phase {
+	return a.s.ProfilePhases(first(qps), budgetW)
+}
+func (a singleAdapter) DecideMulti(profile []sim.PhaseResult, qps []float64, budgetW float64) (sim.Allocation, float64) {
+	return a.s.Decide(profile, first(qps), budgetW)
+}
+func (a singleAdapter) EndSliceMulti(steady sim.PhaseResult, qps []float64) {
+	a.s.EndSlice(steady, first(qps))
+}
+
+func first(qps []float64) float64 {
+	if len(qps) == 0 {
+		return 0
+	}
+	return qps[0]
+}
+
+func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern) *Result {
+	if slices <= 0 {
+		panic("harness: non-positive slice count")
+	}
+	extras := m.ExtraLCs()
+	nServices := len(extras)
+	if m.LC() != nil {
+		nServices++
+	}
+	if len(loads) < nServices {
+		panic(fmt.Sprintf("harness: %d load patterns for %d services", len(loads), nServices))
+	}
+	maxPower := m.MaxPowerW()
+	res := &Result{Scheduler: s.Name()}
+	var prevAlloc *sim.Allocation
+
+	run := func(alloc sim.Allocation, dur float64, qps []float64) sim.PhaseResult {
+		if len(extras) == 0 {
+			return m.Run(alloc, dur, first(qps))
+		}
+		return m.RunMulti(alloc, dur, qps)
+	}
+
+	for sl := 0; sl < slices; sl++ {
+		t := m.Now()
+		loadFrac := 0.0
+		qps := make([]float64, nServices)
+		qosMs := 0.0
+		if m.LC() != nil {
+			loadFrac = loads[0](t)
+			qps[0] = loadFrac * m.LC().MaxQPS
+			qosMs = m.LC().QoSTargetMs
+		}
+		for x, app := range extras {
+			qps[x+1] = loads[x+1](t) * app.MaxQPS
+		}
+		budgetW := budget(t) * maxPower
+
+		rec := SliceRecord{
+			T: t, LoadFrac: loadFrac, QPS: first(qps), QoSMs: qosMs, BudgetW: budgetW,
+		}
+
+		var (
+			sojourns  []float64
+			extraSoj  = make([][]float64, len(extras))
+			energyJ   float64
+			elapsed   float64
+			instrB    []float64
+			bipsAccum []float64
+		)
+		nBatch := len(m.Batch())
+		instrB = make([]float64, nBatch)
+		bipsAccum = make([]float64, nBatch)
+
+		accumulate := func(pr sim.PhaseResult) {
+			sojourns = append(sojourns, pr.Sojourns...)
+			for x := range pr.ExtraSojourns {
+				extraSoj[x] = append(extraSoj[x], pr.ExtraSojourns[x]...)
+			}
+			energyJ += pr.PowerW * pr.Dur
+			elapsed += pr.Dur
+			for i := range instrB {
+				instrB[i] += pr.BatchInstrB[i]
+				bipsAccum[i] += pr.BatchBIPS[i] * pr.Dur
+			}
+		}
+
+		// 1. Profiling phases.
+		profPhases := s.ProfilePhasesMulti(qps, budgetW)
+		profResults := make([]sim.PhaseResult, 0, len(profPhases))
+		for _, ph := range profPhases {
+			if ph.Dur <= 0 {
+				panic("harness: profile phase with non-positive duration")
+			}
+			pr := run(ph.Alloc, ph.Dur, qps)
+			profResults = append(profResults, pr)
+			accumulate(pr)
+		}
+
+		// 2. Decision.
+		alloc, overhead := s.DecideMulti(profResults, qps, budgetW)
+
+		// 3. Scheduling overhead: the machine keeps running under the
+		// previous allocation while the runtime computes.
+		if overhead > 0 && elapsed+overhead < SliceDur {
+			hold := alloc
+			if prevAlloc != nil {
+				hold = *prevAlloc
+			}
+			accumulate(run(hold, overhead, qps))
+		}
+
+		// 4. Steady state for the remainder of the slice.
+		if remain := SliceDur - elapsed; remain > 1e-9 {
+			steady := run(alloc, remain, qps)
+			accumulate(steady)
+			s.EndSliceMulti(steady, qps)
+		} else {
+			// Degenerate: profiling consumed the slice (Flicker mode a).
+			s.EndSliceMulti(sim.PhaseResult{Dur: 0, BatchBIPS: make([]float64, nBatch), BatchInstrB: make([]float64, nBatch)}, qps)
+		}
+		prev := alloc
+		prevAlloc = &prev
+
+		// Record.
+		rec.P99Ms = stats.P99(sojourns) * 1e3
+		rec.Violated = qosMs > 0 && rec.P99Ms > qosMs
+		for x, app := range extras {
+			p99 := stats.P99(extraSoj[x]) * 1e3
+			rec.ExtraP99Ms = append(rec.ExtraP99Ms, p99)
+			rec.ExtraQoSMs = append(rec.ExtraQoSMs, app.QoSTargetMs)
+			rec.ExtraViolated = append(rec.ExtraViolated, p99 > app.QoSTargetMs)
+			rec.ExtraLCCores = append(rec.ExtraLCCores, alloc.ExtraLC[x].Cores)
+			rec.ExtraLCCfg = append(rec.ExtraLCCfg, alloc.ExtraLC[x].Core.String())
+		}
+		rec.BatchInstrB = instrB
+		rec.TotalInstrB = stats.Sum(instrB)
+		perJob := make([]float64, nBatch)
+		for i := range perJob {
+			perJob[i] = bipsAccum[i] / SliceDur
+		}
+		rec.GmeanBIPS = stats.GeoMean(perJob)
+		rec.AvgPowerW = energyJ / elapsed
+		rec.OverBudget = rec.AvgPowerW > budgetW
+		rec.LCCores = alloc.LCCores
+		rec.LCCoreCfg = alloc.LCCore.String()
+		rec.LCCacheWays = alloc.LCCache.Ways()
+		res.Slices = append(res.Slices, rec)
+	}
+	return res
+}
+
+// String summarises a result for quick inspection.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %d slices, %.1f Binstr, %d QoS violations, worst p99/QoS %.2f",
+		r.Scheduler, len(r.Slices), r.TotalInstrB(), r.QoSViolations(), r.WorstP99Ratio())
+}

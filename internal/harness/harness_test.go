@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/sim"
+	"cuttlesys/internal/workload"
+)
+
+// staticScheduler applies one fixed allocation with optional profiling
+// phases and overhead — enough to exercise every driver path.
+type staticScheduler struct {
+	alloc    sim.Allocation
+	profiles []Phase
+	overhead float64
+
+	decides, ends int
+	profResults   [][]sim.PhaseResult
+	steadies      []sim.PhaseResult
+}
+
+func (s *staticScheduler) Name() string { return "static" }
+func (s *staticScheduler) ProfilePhases(qps, budgetW float64) []Phase {
+	return s.profiles
+}
+func (s *staticScheduler) Decide(profile []sim.PhaseResult, qps, budgetW float64) (sim.Allocation, float64) {
+	s.decides++
+	s.profResults = append(s.profResults, profile)
+	return s.alloc, s.overhead
+}
+func (s *staticScheduler) EndSlice(steady sim.PhaseResult, qps float64) {
+	s.ends++
+	s.steadies = append(s.steadies, steady)
+}
+
+func testMachine(t *testing.T) *sim.Machine {
+	t.Helper()
+	lc, err := workload.ByName("silo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := workload.SplitTrainTest(1, 16)
+	return sim.New(sim.Spec{Seed: 1, LC: lc, Batch: workload.Mix(1, test, 16), Reconfigurable: true})
+}
+
+func TestRunBasicAccounting(t *testing.T) {
+	m := testMachine(t)
+	s := &staticScheduler{alloc: sim.Uniform(16, true, 16, config.Widest, config.OneWay)}
+	res := Run(m, s, 5, ConstantLoad(0.5), ConstantBudget(0.8))
+	if len(res.Slices) != 5 || s.decides != 5 || s.ends != 5 {
+		t.Fatalf("slices/decides/ends = %d/%d/%d", len(res.Slices), s.decides, s.ends)
+	}
+	for _, rec := range res.Slices {
+		if math.Abs(rec.LoadFrac-0.5) > 1e-12 {
+			t.Fatal("load pattern not applied")
+		}
+		if rec.TotalInstrB <= 0 || rec.AvgPowerW <= 0 {
+			t.Fatal("missing accounting")
+		}
+		if rec.P99Ms <= 0 {
+			t.Fatal("missing tail latency")
+		}
+	}
+	if m.Now() < 0.5-1e-9 {
+		t.Fatalf("machine advanced only %v s", m.Now())
+	}
+}
+
+func TestProfilingPhasesExecuted(t *testing.T) {
+	m := testMachine(t)
+	prof := sim.Uniform(16, true, 16, config.Narrowest, config.OneWay)
+	s := &staticScheduler{
+		alloc:    sim.Uniform(16, true, 16, config.Widest, config.OneWay),
+		profiles: []Phase{{Dur: 0.001, Alloc: prof}, {Dur: 0.001, Alloc: prof}},
+	}
+	Run(m, s, 2, ConstantLoad(0.5), ConstantBudget(0.8))
+	if len(s.profResults[0]) != 2 {
+		t.Fatalf("scheduler saw %d profile results, want 2", len(s.profResults[0]))
+	}
+	// A slice is still exactly SliceDur long: profiling is carved out of
+	// it, so steady phases shrink accordingly.
+	if got := s.steadies[0].Dur; math.Abs(got-(SliceDur-0.002)) > 1e-9 {
+		t.Fatalf("steady duration %v, want %v", got, SliceDur-0.002)
+	}
+}
+
+func TestOverheadHoldsPreviousAllocation(t *testing.T) {
+	m := testMachine(t)
+	s := &staticScheduler{
+		alloc:    sim.Uniform(16, true, 16, config.Widest, config.OneWay),
+		overhead: 0.01,
+	}
+	res := Run(m, s, 3, ConstantLoad(0.5), ConstantBudget(0.8))
+	// Steady state shrinks by the overhead.
+	if got := s.steadies[1].Dur; math.Abs(got-(SliceDur-0.01)) > 1e-9 {
+		t.Fatalf("steady duration %v, want %v", got, SliceDur-0.01)
+	}
+	if len(res.Slices) != 3 {
+		t.Fatal("wrong slice count")
+	}
+}
+
+func TestLoadPatterns(t *testing.T) {
+	d := DiurnalLoad(0.2, 1.0, 1.0)
+	if v := d(0); math.Abs(v-0.2) > 1e-9 {
+		t.Fatalf("diurnal at t=0: %v", v)
+	}
+	if v := d(0.5); math.Abs(v-1.0) > 1e-9 {
+		t.Fatalf("diurnal at half period: %v", v)
+	}
+	if v := d(1.0); math.Abs(v-0.2) > 1e-9 {
+		t.Fatalf("diurnal at full period: %v", v)
+	}
+	st := StepLoad(0.2, 0.9, 1, 2)
+	if st(0.5) != 0.2 || st(1.5) != 0.9 || st(2.5) != 0.2 {
+		t.Fatal("step load wrong")
+	}
+	sb := StepBudget(0.9, 0.6, 1, 2)
+	if sb(0.5) != 0.9 || sb(1.5) != 0.6 || sb(2.5) != 0.9 {
+		t.Fatal("step budget wrong")
+	}
+	if ConstantLoad(0.7)(123) != 0.7 || ConstantBudget(0.5)(99) != 0.5 {
+		t.Fatal("constant patterns wrong")
+	}
+}
+
+func TestResultAggregates(t *testing.T) {
+	r := &Result{Scheduler: "x", Slices: []SliceRecord{
+		{TotalInstrB: 2, P99Ms: 5, QoSMs: 10, GmeanBIPS: 1, AvgPowerW: 50, BudgetW: 60},
+		{TotalInstrB: 3, P99Ms: 20, QoSMs: 10, Violated: true, GmeanBIPS: 3, AvgPowerW: 70, BudgetW: 60},
+	}}
+	if r.TotalInstrB() != 5 {
+		t.Fatal("TotalInstrB wrong")
+	}
+	if r.QoSViolations() != 1 {
+		t.Fatal("QoSViolations wrong")
+	}
+	if r.WorstP99Ratio() != 2 {
+		t.Fatal("WorstP99Ratio wrong")
+	}
+	if r.MeanGmeanBIPS() != 2 {
+		t.Fatal("MeanGmeanBIPS wrong")
+	}
+	if r.BudgetViolations(0.05) != 1 {
+		t.Fatal("BudgetViolations wrong")
+	}
+	if r.BudgetViolations(0.5) != 0 {
+		t.Fatal("BudgetViolations tolerance ignored")
+	}
+	if r.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestRunPanicsOnBadSliceCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run(0 slices) did not panic")
+		}
+	}()
+	m := testMachine(t)
+	Run(m, &staticScheduler{alloc: sim.Uniform(16, true, 16, config.Widest, config.OneWay)}, 0,
+		ConstantLoad(0.5), ConstantBudget(0.8))
+}

@@ -1,0 +1,304 @@
+// Package mat implements the small dense linear algebra kernel the
+// repository needs: matrices, products, a partial-pivoting linear solver
+// (used to fit Flicker's RBF surrogates), and a one-sided Jacobi SVD
+// (used to initialise the P/Q factors of the collaborative-filtering
+// reconstruction, as described in §V of the paper).
+//
+// The matrices here are tiny — at most a few hundred rows (applications)
+// by ~108 columns (resource configurations) — so the implementations
+// favour clarity and numerical robustness over blocking or SIMD.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewDense returns a zeroed r×c matrix. It panics on non-positive
+// dimensions.
+func NewDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices, which must be non-empty and
+// of equal length.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: FromRows with empty input")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.Cols {
+			panic("mat: FromRows with ragged input")
+		}
+		copy(m.Data[i*m.Cols:], row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns a·b. It panics on a dimension mismatch.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns a·x as a new vector. It panics on a dimension mismatch.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// FrobeniusDiff returns ‖a−b‖_F. It panics on a dimension mismatch.
+func FrobeniusDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: FrobeniusDiff dimension mismatch")
+	}
+	s := 0.0
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Solve solves A·x = b by Gaussian elimination with partial pivoting,
+// where A is square. A and b are not modified. It returns an error when
+// the system is (numerically) singular.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("mat: Solve needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: Solve rhs length %d != %d", len(b), n)
+	}
+	// Working copies.
+	m := a.Clone()
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		pmax := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > pmax {
+				pmax, pivot = v, r
+			}
+		}
+		if pmax < 1e-13 {
+			return nil, fmt.Errorf("mat: singular system at column %d", col)
+		}
+		if pivot != col {
+			pr, cr := m.Row(pivot), m.Row(col)
+			for j := range pr {
+				pr[j], cr[j] = cr[j], pr[j]
+			}
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			rrow, crow := m.Row(r), m.Row(col)
+			for j := col; j < n; j++ {
+				rrow[j] -= f * crow[j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := m.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// SVDResult holds the thin singular value decomposition A = U·Σ·Vᵀ with
+// singular values in non-increasing order. U is m×k, V is n×k, and S has
+// length k = min(m, n).
+type SVDResult struct {
+	U *Dense
+	S []float64
+	V *Dense
+}
+
+// SVD computes the thin singular value decomposition of a by one-sided
+// Jacobi rotations applied to the columns of a working copy. Suitable
+// for the small, well-conditioned matrices this repository manipulates.
+func SVD(a *Dense) SVDResult {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		// Decompose the transpose and swap the roles of U and V.
+		r := SVD(a.T())
+		return SVDResult{U: r.V, S: r.S, V: r.U}
+	}
+	// w starts as a copy of a; Jacobi rotations orthogonalise its columns
+	// in place, accumulating the rotations into v.
+	w := a.Clone()
+	v := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const (
+		maxSweeps = 60
+		eps       = 1e-12
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha, beta, gamma := 0.0, 0.0, 0.0
+				for i := 0; i < m; i++ {
+					wp, wq := w.At(i, p), w.At(i, q)
+					alpha += wp * wp
+					beta += wq * wq
+					gamma += wp * wq
+				}
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				off += math.Abs(gamma)
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					wp, wq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, c*wp-s*wq)
+					w.Set(i, q, s*wp+c*wq)
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Column norms of w are the singular values; normalised columns form U.
+	type sv struct {
+		val float64
+		idx int
+	}
+	svs := make([]sv, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += w.At(i, j) * w.At(i, j)
+		}
+		svs[j] = sv{math.Sqrt(s), j}
+	}
+	// Sort non-increasing (insertion sort: n is tiny).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && svs[j].val > svs[j-1].val; j-- {
+			svs[j], svs[j-1] = svs[j-1], svs[j]
+		}
+	}
+
+	u := NewDense(m, n)
+	vOut := NewDense(n, n)
+	sOut := make([]float64, n)
+	for rank, e := range svs {
+		sOut[rank] = e.val
+		if e.val > eps {
+			inv := 1 / e.val
+			for i := 0; i < m; i++ {
+				u.Set(i, rank, w.At(i, e.idx)*inv)
+			}
+		}
+		for i := 0; i < n; i++ {
+			vOut.Set(i, rank, v.At(i, e.idx))
+		}
+	}
+	return SVDResult{U: u, S: sOut, V: vOut}
+}

@@ -1,0 +1,269 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cuttlesys/internal/rng"
+)
+
+func TestNewDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDense(0,1) did not panic")
+		}
+	}()
+	NewDense(0, 1)
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	row := m.Row(1)
+	row[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must be a view, not a copy")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("FromRows layout wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1}, {1, 2}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatal("transpose values wrong")
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if FrobeniusDiff(c, want) > 1e-12 {
+		t.Fatalf("Mul = %+v, want %+v", c, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	r := rng.New(1)
+	a := NewDense(4, 4)
+	id := NewDense(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+		for j := 0; j < 4; j++ {
+			a.Set(i, j, r.Norm())
+		}
+	}
+	if FrobeniusDiff(Mul(a, id), a) > 1e-12 {
+		t.Fatal("A·I != A")
+	}
+	if FrobeniusDiff(Mul(id, a), a) > 1e-12 {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := MulVec(a, []float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-12 {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("Solve = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular system did not error")
+	}
+}
+
+func TestSolveDoesNotMutate(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	aCopy := a.Clone()
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if FrobeniusDiff(a, aCopy) != 0 {
+		t.Fatal("Solve mutated A")
+	}
+	if b[0] != 1 || b[1] != 2 {
+		t.Fatal("Solve mutated b")
+	}
+}
+
+func TestSolveRandomResidual(t *testing.T) {
+	r := rng.New(7)
+	if err := quick.Check(func(seed uint64) bool {
+		local := rng.New(seed)
+		n := 3 + local.Intn(8)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, local.Norm())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant => nonsingular
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = local.Norm()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		res := MulVec(a, x)
+		for i := range res {
+			if math.Abs(res[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func svdReconstruct(r SVDResult) *Dense {
+	k := len(r.S)
+	us := r.U.Clone()
+	for i := 0; i < us.Rows; i++ {
+		for j := 0; j < k; j++ {
+			us.Set(i, j, us.At(i, j)*r.S[j])
+		}
+	}
+	return Mul(us, r.V.T())
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	r := rng.New(13)
+	for _, dims := range [][2]int{{5, 3}, {3, 5}, {6, 6}, {10, 4}} {
+		m, n := dims[0], dims[1]
+		a := NewDense(m, n)
+		for i := range a.Data {
+			a.Data[i] = r.Norm()
+		}
+		res := SVD(a)
+		if diff := FrobeniusDiff(svdReconstruct(res), a); diff > 1e-8 {
+			t.Fatalf("SVD %dx%d reconstruction error %v", m, n, diff)
+		}
+		// Singular values non-increasing and non-negative.
+		for i := range res.S {
+			if res.S[i] < 0 {
+				t.Fatalf("negative singular value %v", res.S[i])
+			}
+			if i > 0 && res.S[i] > res.S[i-1]+1e-12 {
+				t.Fatalf("singular values not sorted: %v", res.S)
+			}
+		}
+	}
+}
+
+func TestSVDOrthonormalU(t *testing.T) {
+	r := rng.New(17)
+	a := NewDense(8, 4)
+	for i := range a.Data {
+		a.Data[i] = r.Norm()
+	}
+	res := SVD(a)
+	utu := Mul(res.U.T(), res.U)
+	for i := 0; i < utu.Rows; i++ {
+		for j := 0; j < utu.Cols; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(utu.At(i, j)-want) > 1e-8 {
+				t.Fatalf("UᵀU not identity at (%d,%d): %v", i, j, utu.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSVDLowRank(t *testing.T) {
+	// Build an exactly rank-2 matrix and check the trailing singular
+	// values vanish — the low-rank structure assumption behind the
+	// collaborative-filtering reconstruction.
+	r := rng.New(19)
+	m, n, rank := 10, 6, 2
+	u := NewDense(m, rank)
+	v := NewDense(rank, n)
+	for i := range u.Data {
+		u.Data[i] = r.Norm()
+	}
+	for i := range v.Data {
+		v.Data[i] = r.Norm()
+	}
+	a := Mul(u, v)
+	res := SVD(a)
+	if res.S[0] <= 0 || res.S[1] <= 0 {
+		t.Fatal("leading singular values should be positive")
+	}
+	for i := rank; i < len(res.S); i++ {
+		if res.S[i] > 1e-8*res.S[0] {
+			t.Fatalf("trailing singular value %d = %v, want ~0", i, res.S[i])
+		}
+	}
+}
+
+func TestFrobeniusDiffMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FrobeniusDiff mismatch did not panic")
+		}
+	}()
+	FrobeniusDiff(NewDense(2, 2), NewDense(2, 3))
+}

@@ -1,0 +1,220 @@
+// Package qsim simulates a latency-critical interactive service as an
+// open-loop M/G/k queueing system — the TailBench-substitute substrate
+// (DESIGN.md §1). Queries arrive in a Poisson stream at the offered
+// load, each carries a log-normally distributed instruction demand, and
+// a central FCFS queue feeds the k cores assigned to the service. The
+// per-query service time is the demand divided by the core's speed,
+// which the machine simulator derives from the performance model for
+// the service's current core configuration and cache allocation.
+//
+// Tail latency of an interactive service is a queueing phenomenon: p99
+// sojourn time is flat while the offered load is well below the
+// configuration-dependent capacity and explodes as it approaches it —
+// exactly the Fig. 1 characterisation the paper builds on. Simulating
+// the queue, rather than modelling it analytically, also reproduces the
+// transient behaviour of §VIII-D: backlog accumulated during a load
+// spike keeps violating QoS until the runtime reacts.
+//
+// The simulator carries state across calls (server busy horizons), so
+// the machine can step it in sub-slice increments — 1 ms profiling
+// windows followed by the 98 ms steady state — with configuration
+// changes applying to queries that start after the change, the way a
+// real reconfiguration would.
+package qsim
+
+import (
+	"container/heap"
+	"math"
+
+	"cuttlesys/internal/rng"
+)
+
+// Service is the queueing state of one latency-critical service.
+type Service struct {
+	r      *rng.RNG
+	now    float64  // simulation clock, seconds
+	freeAt freeHeap // per-server next-free times
+}
+
+// NewService returns a service with k servers (cores), all idle at
+// time zero. It panics when k <= 0.
+func NewService(seed uint64, k int) *Service {
+	if k <= 0 {
+		panic("qsim: NewService with non-positive server count")
+	}
+	s := &Service{r: rng.New(seed)}
+	s.freeAt = make(freeHeap, k)
+	heap.Init(&s.freeAt)
+	return s
+}
+
+// Now returns the simulation clock in seconds.
+func (s *Service) Now() float64 { return s.now }
+
+// Servers returns the current number of servers.
+func (s *Service) Servers() int { return len(s.freeAt) }
+
+// SetServers changes the number of servers (cores allocated to the
+// service) effective immediately: shrinking removes the servers that
+// would become free last (their in-flight work migrates to the
+// remaining cores' horizon is conservative enough at 100 ms decision
+// granularity), growing adds servers that are free now. It panics when
+// k <= 0.
+func (s *Service) SetServers(k int) {
+	if k <= 0 {
+		panic("qsim: SetServers with non-positive server count")
+	}
+	for len(s.freeAt) > k {
+		s.freeAt.removeLatest()
+	}
+	for len(s.freeAt) < k {
+		heap.Push(&s.freeAt, s.now)
+	}
+}
+
+// Step simulates the window [now, now+dur) with Poisson arrivals at
+// qps queries per second, mean service time meanSvc seconds and
+// log-normal demand dispersion sigma. It returns the sojourn times
+// (queueing + service, in seconds) of every query arriving in the
+// window; queries may complete after the window ends — their full
+// sojourn is still charged to this window, matching how the paper
+// measures tail latency over whole timeslices. dur and meanSvc must be
+// positive; qps may be zero (an idle window).
+func (s *Service) Step(dur, qps, meanSvc, sigma float64) []float64 {
+	if dur <= 0 {
+		panic("qsim: Step with non-positive duration")
+	}
+	if meanSvc <= 0 {
+		panic("qsim: Step with non-positive service time")
+	}
+	end := s.now + dur
+	var sojourns []float64
+	if qps > 0 {
+		// mu chosen so the log-normal multiplier has mean 1.
+		mu := -sigma * sigma / 2
+		t := s.now + s.r.Exp(qps)
+		for t < end {
+			demand := meanSvc * s.r.LogNormal(mu, sigma)
+			// FCFS central queue: the next query runs on the server
+			// that frees earliest.
+			free := s.freeAt[0]
+			start := math.Max(t, free)
+			finish := start + demand
+			s.freeAt.replaceMin(finish)
+			sojourns = append(sojourns, finish-t)
+			t += s.r.Exp(qps)
+		}
+	}
+	s.now = end
+	return sojourns
+}
+
+// Backlog returns the amount of queued work, in seconds beyond the
+// current clock, on the busiest server — a cheap congestion signal.
+func (s *Service) Backlog() float64 {
+	worst := 0.0
+	for _, f := range s.freeAt {
+		if b := f - s.now; b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
+// Reset clears all server state, keeping the server count and the
+// random stream position.
+func (s *Service) Reset() {
+	for i := range s.freeAt {
+		s.freeAt[i] = s.now
+	}
+	heap.Init(&s.freeAt)
+}
+
+// freeHeap is a min-heap of server next-free times.
+type freeHeap []float64
+
+func (h freeHeap) Len() int            { return len(h) }
+func (h freeHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h freeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *freeHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *freeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// replaceMin replaces the minimum element and restores heap order.
+func (h freeHeap) replaceMin(v float64) {
+	h[0] = v
+	heap.Fix(&h, 0)
+}
+
+// removeLatest removes the server that frees last.
+func (h *freeHeap) removeLatest() {
+	idx := 0
+	for i, v := range *h {
+		if v > (*h)[idx] {
+			idx = i
+		}
+	}
+	heap.Remove(h, idx)
+}
+
+// P99Analytic approximates the steady-state p99 sojourn time of an
+// M/G/k FCFS queue with k servers, arrival rate qps, mean service time
+// meanSvc and log-normal dispersion sigma. The queueing-delay tail uses
+// the M/M/k Erlang-C waiting probability with an exponential tail (a
+// standard heavy-traffic approximation); the service tail adds the
+// log-normal p99 quantile. When the offered load reaches or exceeds
+// capacity it returns +Inf.
+//
+// The discrete-event Step is the ground truth everywhere in the
+// machine simulator; this closed form exists for the oracle baselines
+// and wide parameter sweeps where simulating every candidate would
+// dominate runtime. The agreement between the two is covered by tests.
+func P99Analytic(k int, qps, meanSvc, sigma float64) float64 {
+	if k <= 0 || meanSvc <= 0 {
+		panic("qsim: P99Analytic with invalid parameters")
+	}
+	if qps <= 0 {
+		// Idle service: p99 is just the service-time quantile.
+		return svcP99(meanSvc, sigma)
+	}
+	mu := 1 / meanSvc
+	rho := qps / (float64(k) * mu)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	pWait := erlangC(k, qps*meanSvc)
+	// P(Wq > t) ≈ pWait · exp(−(kμ−λ)t)
+	decay := float64(k)*mu - qps
+	wq99 := 0.0
+	if pWait > 0.01 {
+		wq99 = math.Log(pWait/0.01) / decay
+	}
+	return wq99 + svcP99(meanSvc, sigma)
+}
+
+// svcP99 is the p99 of a log-normal service time with mean meanSvc.
+func svcP99(meanSvc, sigma float64) float64 {
+	const z99 = 2.3263478740408408
+	return meanSvc * math.Exp(sigma*z99-sigma*sigma/2)
+}
+
+// erlangC returns the M/M/k probability that an arrival waits, with
+// offered load a = λ/μ erlangs. Computed with the usual stable
+// recurrence on the Erlang-B blocking probability.
+func erlangC(k int, a float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	// Erlang-B recurrence: B(0)=1; B(n) = a·B(n−1)/(n + a·B(n−1)).
+	b := 1.0
+	for n := 1; n <= k; n++ {
+		b = a * b / (float64(n) + a*b)
+	}
+	rho := a / float64(k)
+	return b / (1 - rho + rho*b)
+}

@@ -1,0 +1,159 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used throughout the simulator and the search algorithms.
+//
+// All randomness in the repository flows through this package so that
+// every experiment is exactly reproducible from its seed, independent of
+// the Go release (math/rand's global source and its shuffling algorithms
+// changed across Go versions; PCG-XSH-RR 64/32 below is frozen).
+//
+// The generator is PCG-XSH-RR with a 64-bit state and 64-bit stream
+// (O'Neill, 2014). It is splittable: Split derives an independent child
+// stream, which the parallel DDS and hogwild SGD use to give each worker
+// goroutine its own source without locking.
+package rng
+
+import "math"
+
+const (
+	pcgMult    = 6364136223846793005
+	defaultInc = 1442695040888963407
+)
+
+// RNG is a deterministic PCG-XSH-RR 64/32 generator. The zero value is
+// not valid; construct with New.
+type RNG struct {
+	state uint64
+	inc   uint64 // stream selector; always odd
+
+	// cached second normal variate from the Box-Muller transform
+	hasSpare bool
+	spare    float64
+}
+
+// New returns a generator seeded with seed on the default stream.
+func New(seed uint64) *RNG {
+	return NewStream(seed, defaultInc>>1)
+}
+
+// NewStream returns a generator seeded with seed on the given stream.
+// Distinct streams produce statistically independent sequences even for
+// equal seeds.
+func NewStream(seed, stream uint64) *RNG {
+	r := &RNG{inc: stream<<1 | 1}
+	r.state = 0
+	r.next()
+	r.state += seed
+	r.next()
+	return r
+}
+
+// Split derives an independent child generator. The parent advances, so
+// successive Splits yield distinct children.
+func (r *RNG) Split() *RNG {
+	return NewStream(uint64(r.next())<<32|uint64(r.next()), uint64(r.next())<<32|uint64(r.next()))
+}
+
+func (r *RNG) next() uint32 {
+	old := r.state
+	r.state = old*pcgMult + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	return uint64(r.next())<<32 | uint64(r.next())
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation on 32 bits when
+	// possible, falling back to 64-bit modulo for huge n.
+	if n <= math.MaxInt32 {
+		bound := uint32(n)
+		threshold := -bound % bound
+		for {
+			v := r.next()
+			if v >= threshold {
+				return int(v % bound)
+			}
+		}
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Norm returns a standard normal variate (Box-Muller, cached pair).
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			f := math.Sqrt(-2 * math.Log(s) / s)
+			r.spare = v * f
+			r.hasSpare = true
+			return u * f
+		}
+	}
+}
+
+// NormMeanStd returns a normal variate with the given mean and standard
+// deviation.
+func (r *RNG) NormMeanStd(mean, std float64) float64 {
+	return mean + std*r.Norm()
+}
+
+// LogNormal returns a log-normally distributed variate where the
+// underlying normal has the given mu and sigma.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Norm())
+}
+
+// Exp returns an exponentially distributed variate with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u) / rate
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomly permutes the first n elements using swap, matching the
+// contract of math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

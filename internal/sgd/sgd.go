@@ -1,0 +1,437 @@
+// Package sgd implements the paper's PQ-reconstruction with Stochastic
+// Gradient Descent (§V, Alg. 1): a collaborative-filtering matrix
+// completion that, given a sparse matrix of observations — rows are
+// applications, columns are the 108 resource configurations, entries
+// are throughput, tail latency or power — infers every missing entry
+// from the behaviour of previously-seen applications.
+//
+// The model is the standard biased matrix factorisation from the
+// recommender-system literature the paper cites [2, 83, 89, 90]:
+//
+//	R̂[i][j] = μ + b[i] + c[j] + Q[i]·P[j]
+//
+// with rank-F factor matrices Q (rows) and P (columns) trained by SGD
+// over the observed entries, optionally initialised from a truncated
+// SVD of the mean-filled matrix (the paper constructs Q and P from the
+// singular vectors). Alg. 1 as printed allocates full-rank factor
+// matrices; with only two observations in a new application's row that
+// would overfit immediately, so this implementation uses the low-rank
+// form of the cited PQ-reconstruction work.
+//
+// ReconstructParallel is the paper's lock-free parallel variant (§V):
+// rows are sharded across workers, whose updates to the shared column
+// factors race benignly (HOGWILD! [95, 96]). Shared values go through
+// sync/atomic so the Go memory model is respected — lost updates
+// remain possible, which is exactly the bounded inaccuracy the paper
+// reports (~1%).
+package sgd
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cuttlesys/internal/mat"
+	"cuttlesys/internal/rng"
+)
+
+// Matrix is a sparse observation matrix: applications × resource
+// configurations.
+type Matrix struct {
+	Rows, Cols int
+	vals       []float64
+	known      []bool
+}
+
+// NewMatrix returns an empty rows×cols observation matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("sgd: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{
+		Rows:  rows,
+		Cols:  cols,
+		vals:  make([]float64, rows*cols),
+		known: make([]bool, rows*cols),
+	}
+}
+
+// Observe records entry (i, j) = v. Re-observing overwrites — the
+// runtime updates entries with measured values at the end of every
+// timeslice (§IV-B).
+func (m *Matrix) Observe(i, j int, v float64) {
+	m.vals[i*m.Cols+j] = v
+	m.known[i*m.Cols+j] = true
+}
+
+// Clear removes the observation at (i, j).
+func (m *Matrix) Clear(i, j int) { m.known[i*m.Cols+j] = false }
+
+// Known reports whether entry (i, j) has been observed.
+func (m *Matrix) Known(i, j int) bool { return m.known[i*m.Cols+j] }
+
+// At returns the observed value at (i, j); meaningful only when Known.
+func (m *Matrix) At(i, j int) float64 { return m.vals[i*m.Cols+j] }
+
+// KnownCount returns the number of observed entries.
+func (m *Matrix) KnownCount() int {
+	n := 0
+	for _, k := range m.known {
+		if k {
+			n++
+		}
+	}
+	return n
+}
+
+// ObserveRow records a full row of observations (a "known" application
+// characterised offline across all configurations).
+func (m *Matrix) ObserveRow(i int, vals []float64) {
+	if len(vals) != m.Cols {
+		panic("sgd: ObserveRow length mismatch")
+	}
+	for j, v := range vals {
+		m.Observe(i, j, v)
+	}
+}
+
+// Params controls a reconstruction.
+type Params struct {
+	// Factors is the latent rank F. Default 8.
+	Factors int
+	// LearningRate is Alg. 1's η. Default 0.02.
+	LearningRate float64
+	// Reg is Alg. 1's regularisation factor λ. Default 0.05.
+	Reg float64
+	// MaxIter is the number of SGD sweeps over the observed entries
+	// (Alg. 1's maxIter). Default 250.
+	MaxIter int
+	// Workers is the number of lock-free parallel workers used by
+	// ReconstructParallel; 0 means GOMAXPROCS capped at 8.
+	Workers int
+	// LogSpace trains on log(v): tail latency spans four orders of
+	// magnitude across configurations and loads, and the relative-error
+	// objective the paper reports is additive in log space.
+	LogSpace bool
+	// SVDInit seeds Q and P from the truncated SVD of the mean-filled
+	// matrix, as §V describes, instead of random initialisation.
+	SVDInit bool
+	// FactorMinObs freezes the latent factors of rows with fewer
+	// observed entries than this: such rows train biases only, so their
+	// predictions reduce to μ + b[i] + c[j]. One or two observations
+	// cannot constrain a factor vector — letting SGD fit them drags
+	// every correlated column toward the anchors, which is exactly the
+	// optimistic extrapolation a QoS scan cannot afford. 0 disables.
+	FactorMinObs int
+	// Seed drives the random initialisation.
+	Seed uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Factors == 0 {
+		p.Factors = 8
+	}
+	if p.LearningRate == 0 {
+		p.LearningRate = 0.02
+	}
+	if p.Reg == 0 {
+		p.Reg = 0.05
+	}
+	if p.MaxIter == 0 {
+		p.MaxIter = 250
+	}
+	if p.Workers == 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+		if p.Workers > 8 {
+			p.Workers = 8
+		}
+	}
+	return p
+}
+
+// Prediction is a fully reconstructed matrix.
+type Prediction struct {
+	Rows, Cols int
+	vals       []float64
+}
+
+// At returns the predicted value at (i, j).
+func (p *Prediction) At(i, j int) float64 { return p.vals[i*p.Cols+j] }
+
+// Row returns a copy of row i.
+func (p *Prediction) Row(i int) []float64 {
+	out := make([]float64, p.Cols)
+	copy(out, p.vals[i*p.Cols:(i+1)*p.Cols])
+	return out
+}
+
+const logFloor = 1e-9 // guards log-space transform against zeros
+
+// Reconstruct runs the serial Alg. 1 and returns the completed matrix.
+func Reconstruct(m *Matrix, params Params) *Prediction {
+	return reconstruct(m, params.withDefaults(), false)
+}
+
+// ReconstructParallel runs the lock-free parallel variant (§V).
+func ReconstructParallel(m *Matrix, params Params) *Prediction {
+	return reconstruct(m, params.withDefaults(), true)
+}
+
+type obs struct {
+	i, j int
+	v    float64
+}
+
+func reconstruct(m *Matrix, p Params, parallel bool) *Prediction {
+	// Gather observations, transformed if requested.
+	var entries []obs
+	sum := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if !m.Known(i, j) {
+				continue
+			}
+			v := m.At(i, j)
+			if p.LogSpace {
+				v = math.Log(math.Max(v, logFloor))
+			}
+			entries = append(entries, obs{i, j, v})
+			sum += v
+		}
+	}
+	pred := &Prediction{Rows: m.Rows, Cols: m.Cols, vals: make([]float64, m.Rows*m.Cols)}
+	if len(entries) == 0 {
+		return pred
+	}
+	mu := sum / float64(len(entries))
+
+	f := p.Factors
+	q := make([]float64, m.Rows*f) // row factors
+	pc := make([]float64, m.Cols*f)
+	rowBias := make([]float64, m.Rows)
+	colBias := make([]float64, m.Cols)
+
+	r := rng.New(p.Seed)
+	if p.SVDInit {
+		svdInit(m, p, mu, q, pc)
+	} else {
+		scale := 0.1 / math.Sqrt(float64(f))
+		for i := range q {
+			q[i] = scale * r.Norm()
+		}
+		for i := range pc {
+			pc[i] = scale * r.Norm()
+		}
+	}
+
+	biasOnly := make([]bool, m.Rows)
+	if p.FactorMinObs > 0 {
+		counts := make([]int, m.Rows)
+		for _, e := range entries {
+			counts[e.i]++
+		}
+		for i, n := range counts {
+			if n < p.FactorMinObs {
+				biasOnly[i] = true
+				for k := 0; k < f; k++ {
+					q[i*f+k] = 0
+				}
+			}
+		}
+	}
+
+	if parallel {
+		trainParallel(entries, p, mu, f, m.Rows, q, pc, rowBias, colBias, biasOnly)
+	} else {
+		trainSerial(entries, p, mu, f, q, pc, rowBias, colBias, biasOnly)
+	}
+
+	// Dense prediction; observed entries keep their measured values.
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			var v float64
+			if m.Known(i, j) {
+				v = m.At(i, j)
+				if p.LogSpace {
+					v = math.Log(math.Max(v, logFloor))
+				}
+			} else {
+				v = mu + rowBias[i] + colBias[j] + dotf(q[i*f:(i+1)*f], pc[j*f:(j+1)*f])
+			}
+			if p.LogSpace {
+				v = math.Exp(v)
+			}
+			pred.vals[i*m.Cols+j] = v
+		}
+	}
+	return pred
+}
+
+func dotf(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func trainSerial(entries []obs, p Params, mu float64, f int, q, pc, rowBias, colBias []float64, biasOnly []bool) {
+	eta, lam := p.LearningRate, p.Reg
+	for iter := 0; iter < p.MaxIter; iter++ {
+		for _, e := range entries {
+			qi := q[e.i*f : (e.i+1)*f]
+			pj := pc[e.j*f : (e.j+1)*f]
+			err := e.v - (mu + rowBias[e.i] + colBias[e.j] + dotf(qi, pj))
+			rowBias[e.i] += eta * (err - lam*rowBias[e.i])
+			colBias[e.j] += eta * (err - lam*colBias[e.j])
+			if biasOnly[e.i] {
+				continue
+			}
+			for k := 0; k < f; k++ {
+				qk, pk := qi[k], pj[k]
+				qi[k] += eta * (err*pk - lam*qk)
+				pj[k] += eta * (err*qk - lam*pk)
+			}
+		}
+	}
+}
+
+// trainParallel shards observations by row across workers. Row factors
+// and row biases are worker-private (rows are disjoint); column
+// factors and biases are shared through atomic loads/stores without
+// locking — concurrent read-modify-write sequences may lose updates,
+// the HOGWILD! trade the paper adopts for its 3.5× speedup.
+func trainParallel(entries []obs, p Params, mu float64, f, rows int, q, pc, rowBias, colBias []float64, biasOnly []bool) {
+	workers := p.Workers
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		trainSerial(entries, p, mu, f, q, pc, rowBias, colBias, biasOnly)
+		return
+	}
+	// Shared state as atomic bit patterns.
+	pcAtomic := make([]uint64, len(pc))
+	for i, v := range pc {
+		pcAtomic[i] = math.Float64bits(v)
+	}
+	cbAtomic := make([]uint64, len(colBias))
+
+	shards := make([][]obs, workers)
+	for _, e := range entries {
+		w := e.i % workers
+		shards[w] = append(shards[w], e)
+	}
+
+	eta, lam := p.LearningRate, p.Reg
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		if len(shards[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(shard []obs) {
+			defer wg.Done()
+			pj := make([]float64, f)
+			for iter := 0; iter < p.MaxIter; iter++ {
+				for _, e := range shard {
+					qi := q[e.i*f : (e.i+1)*f]
+					base := e.j * f
+					for k := 0; k < f; k++ {
+						pj[k] = math.Float64frombits(atomic.LoadUint64(&pcAtomic[base+k]))
+					}
+					cb := math.Float64frombits(atomic.LoadUint64(&cbAtomic[e.j]))
+					err := e.v - (mu + rowBias[e.i] + cb + dotf(qi, pj))
+					rowBias[e.i] += eta * (err - lam*rowBias[e.i])
+					atomic.StoreUint64(&cbAtomic[e.j], math.Float64bits(cb+eta*(err-lam*cb)))
+					if biasOnly[e.i] {
+						continue
+					}
+					for k := 0; k < f; k++ {
+						qk, pk := qi[k], pj[k]
+						qi[k] += eta * (err*pk - lam*qk)
+						atomic.StoreUint64(&pcAtomic[base+k], math.Float64bits(pk+eta*(err*qk-lam*pk)))
+					}
+				}
+			}
+		}(shards[w])
+	}
+	wg.Wait()
+	for i := range pc {
+		pc[i] = math.Float64frombits(pcAtomic[i])
+	}
+	for i := range colBias {
+		colBias[i] = math.Float64frombits(cbAtomic[i])
+	}
+}
+
+// svdInit seeds the factors from the top-F singular triplets of the
+// mean-filled matrix (Q = U·√Σ, P = V·√Σ), as §V describes. Only rows
+// with substantial coverage (≥ 25 % observed — the offline-trained
+// "known" applications) contribute to, and receive, an initialisation:
+// mean-filling a two-entry row would impose that row's anchor level on
+// every column and bias its latent factors toward "uniformly low/high",
+// exactly the optimistic extrapolation a scheduler cannot afford near
+// a saturation knee. Sparse rows start at zero factors and learn from
+// their observations alone, falling back to the bias model elsewhere.
+func svdInit(m *Matrix, p Params, mu float64, q, pc []float64) {
+	f := p.Factors
+	dense := make([]int, 0, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		n := 0
+		for j := 0; j < m.Cols; j++ {
+			if m.Known(i, j) {
+				n++
+			}
+		}
+		if n*4 >= m.Cols {
+			dense = append(dense, i)
+		}
+	}
+	if len(dense) == 0 {
+		return // nothing trustworthy to decompose; keep zero init
+	}
+	filled := mat.NewDense(len(dense), m.Cols)
+	for di, i := range dense {
+		rowSum, rowN := 0.0, 0
+		for j := 0; j < m.Cols; j++ {
+			if m.Known(i, j) {
+				v := m.At(i, j)
+				if p.LogSpace {
+					v = math.Log(math.Max(v, logFloor))
+				}
+				rowSum += v
+				rowN++
+			}
+		}
+		rowMean := rowSum / float64(rowN)
+		for j := 0; j < m.Cols; j++ {
+			if m.Known(i, j) {
+				v := m.At(i, j)
+				if p.LogSpace {
+					v = math.Log(math.Max(v, logFloor))
+				}
+				filled.Set(di, j, v-mu)
+			} else {
+				filled.Set(di, j, rowMean-mu)
+			}
+		}
+	}
+	res := mat.SVD(filled)
+	k := f
+	if k > len(res.S) {
+		k = len(res.S)
+	}
+	for di, i := range dense {
+		for kk := 0; kk < k; kk++ {
+			q[i*f+kk] = res.U.At(di, kk) * math.Sqrt(res.S[kk])
+		}
+	}
+	for j := 0; j < m.Cols; j++ {
+		for kk := 0; kk < k; kk++ {
+			pc[j*f+kk] = res.V.At(j, kk) * math.Sqrt(res.S[kk])
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package sgd
+
+import (
+	"math"
+	"testing"
+
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/perf"
+	"cuttlesys/internal/power"
+	"cuttlesys/internal/rng"
+	"cuttlesys/internal/sim"
+	"cuttlesys/internal/stats"
+	"cuttlesys/internal/workload"
+)
+
+func TestObserveAndClear(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.KnownCount() != 0 {
+		t.Fatal("fresh matrix should have no observations")
+	}
+	m.Observe(1, 2, 7.5)
+	if !m.Known(1, 2) || m.At(1, 2) != 7.5 {
+		t.Fatal("Observe/At roundtrip failed")
+	}
+	m.Observe(1, 2, 8.0)
+	if m.At(1, 2) != 8.0 {
+		t.Fatal("re-observation should overwrite")
+	}
+	m.Clear(1, 2)
+	if m.Known(1, 2) {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestObserveRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.ObserveRow(0, []float64{1, 2, 3})
+	if m.KnownCount() != 3 || m.At(0, 2) != 3 {
+		t.Fatal("ObserveRow failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	m.ObserveRow(1, []float64{1})
+}
+
+// Build a synthetic exactly-low-rank matrix, hide most of one row, and
+// check the reconstruction recovers it — the core premise of §V.
+func lowRankMatrix(seed uint64, rows, cols, rank int) [][]float64 {
+	r := rng.New(seed)
+	u := make([][]float64, rows)
+	v := make([][]float64, cols)
+	for i := range u {
+		u[i] = make([]float64, rank)
+		for k := range u[i] {
+			u[i][k] = 1 + r.Float64()
+		}
+	}
+	for j := range v {
+		v[j] = make([]float64, rank)
+		for k := range v[j] {
+			v[j][k] = 1 + r.Float64()
+		}
+	}
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, cols)
+		for j := range out[i] {
+			s := 0.0
+			for k := 0; k < rank; k++ {
+				s += u[i][k] * v[j][k]
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}
+
+func TestReconstructRecoversLowRank(t *testing.T) {
+	truth := lowRankMatrix(1, 18, 40, 3)
+	m := NewMatrix(18, 40)
+	// 16 fully-known rows; 2 rows with only 2 observations each.
+	for i := 0; i < 16; i++ {
+		m.ObserveRow(i, truth[i])
+	}
+	for _, i := range []int{16, 17} {
+		m.Observe(i, 0, truth[i][0])
+		m.Observe(i, 39, truth[i][39])
+	}
+	pred := Reconstruct(m, Params{Seed: 7, MaxIter: 600})
+	var errs []float64
+	for _, i := range []int{16, 17} {
+		for j := 1; j < 39; j++ {
+			errs = append(errs, math.Abs(stats.RelErrPct(pred.At(i, j), truth[i][j])))
+		}
+	}
+	if mape := stats.Mean(errs); mape > 12 {
+		t.Fatalf("low-rank reconstruction MAPE %v%%, want < 12%%", mape)
+	}
+}
+
+func TestReconstructKeepsObservedEntries(t *testing.T) {
+	truth := lowRankMatrix(2, 10, 20, 2)
+	m := NewMatrix(10, 20)
+	for i := 0; i < 9; i++ {
+		m.ObserveRow(i, truth[i])
+	}
+	m.Observe(9, 3, truth[9][3])
+	pred := Reconstruct(m, Params{Seed: 1})
+	if got := pred.At(9, 3); got != truth[9][3] {
+		t.Fatalf("observed entry changed: %v != %v", got, truth[9][3])
+	}
+}
+
+func TestParallelMatchesSerialClosely(t *testing.T) {
+	// §V: the lock-free parallel variant introduces a small bounded
+	// inaccuracy (~1%) relative to serial SGD.
+	truth := lowRankMatrix(3, 20, 50, 3)
+	m := NewMatrix(20, 50)
+	for i := 0; i < 18; i++ {
+		m.ObserveRow(i, truth[i])
+	}
+	m.Observe(18, 0, truth[18][0])
+	m.Observe(18, 49, truth[18][49])
+	m.Observe(19, 5, truth[19][5])
+	m.Observe(19, 45, truth[19][45])
+	ps := Params{Seed: 4, MaxIter: 400}
+	serial := Reconstruct(m, ps)
+	ps.Workers = 4
+	parallel := ReconstructParallel(m, ps)
+	var diffs []float64
+	for i := 18; i < 20; i++ {
+		for j := 0; j < 50; j++ {
+			diffs = append(diffs, math.Abs(stats.RelErrPct(parallel.At(i, j), serial.At(i, j))))
+		}
+	}
+	if d := stats.Mean(diffs); d > 5 {
+		t.Fatalf("parallel deviates %v%% from serial, want small", d)
+	}
+}
+
+func TestSVDInitConverges(t *testing.T) {
+	truth := lowRankMatrix(5, 18, 30, 2)
+	m := NewMatrix(18, 30)
+	for i := 0; i < 16; i++ {
+		m.ObserveRow(i, truth[i])
+	}
+	m.Observe(16, 0, truth[16][0])
+	m.Observe(16, 29, truth[16][29])
+	pred := Reconstruct(m, Params{Seed: 2, SVDInit: true, MaxIter: 300})
+	var errs []float64
+	for j := 1; j < 29; j++ {
+		errs = append(errs, math.Abs(stats.RelErrPct(pred.At(16, j), truth[16][j])))
+	}
+	if mape := stats.Mean(errs); mape > 12 {
+		t.Fatalf("SVD-init reconstruction MAPE %v%%, want < 12%%", mape)
+	}
+}
+
+func TestLogSpacePositivity(t *testing.T) {
+	// Tail latencies span decades; log-space training must return
+	// strictly positive predictions.
+	r := rng.New(9)
+	m := NewMatrix(10, 20)
+	for i := 0; i < 9; i++ {
+		row := make([]float64, 20)
+		for j := range row {
+			row[j] = math.Exp(float64(j)/3 + r.Float64())
+		}
+		m.ObserveRow(i, row)
+	}
+	m.Observe(9, 0, 1.5)
+	m.Observe(9, 19, 400)
+	pred := Reconstruct(m, Params{Seed: 3, LogSpace: true})
+	for j := 0; j < 20; j++ {
+		if pred.At(9, j) <= 0 {
+			t.Fatalf("log-space prediction non-positive at col %d", j)
+		}
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := NewMatrix(3, 3)
+	pred := Reconstruct(m, Params{})
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if pred.At(i, j) != 0 {
+				t.Fatal("empty matrix should reconstruct to zeros")
+			}
+		}
+	}
+}
+
+func TestPredictionRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.ObserveRow(0, []float64{1, 2, 3})
+	m.ObserveRow(1, []float64{4, 5, 6})
+	pred := Reconstruct(m, Params{Seed: 1})
+	row := pred.Row(1)
+	if len(row) != 3 || row[0] != 4 || row[2] != 6 {
+		t.Fatalf("Row = %v", row)
+	}
+}
+
+// End-to-end accuracy on the real performance surfaces: train on 16
+// SPEC apps, hide all but 2 entries of the remaining apps, reconstruct
+// and compare — the Fig. 5a experiment in miniature. The paper reports
+// quartiles within 10% and 5th/95th percentiles within 20%.
+func TestSurfaceReconstructionAccuracy(t *testing.T) {
+	pm, wm := perf.New(true), power.New(true)
+	train, test := workload.SplitTrainTest(42, 16)
+	rows := len(train) + len(test)
+	bipsM := NewMatrix(rows, config.NumResources)
+	powerM := NewMatrix(rows, config.NumResources)
+	truthB := make([][]float64, rows)
+	truthP := make([][]float64, rows)
+	for i, app := range train {
+		b, p := sim.BatchSurfaces(pm, wm, app)
+		truthB[i], truthP[i] = b, p
+		bipsM.ObserveRow(i, b)
+		powerM.ObserveRow(i, p)
+	}
+	loIdx := config.Resource{Core: config.Narrowest, Cache: config.OneWay}.Index()
+	hiIdx := config.Resource{Core: config.Widest, Cache: config.OneWay}.Index()
+	for k, app := range test {
+		i := len(train) + k
+		b, p := sim.BatchSurfaces(pm, wm, app)
+		truthB[i], truthP[i] = b, p
+		bipsM.Observe(i, loIdx, b[loIdx])
+		bipsM.Observe(i, hiIdx, b[hiIdx])
+		powerM.Observe(i, loIdx, p[loIdx])
+		powerM.Observe(i, hiIdx, p[hiIdx])
+	}
+	params := Params{Seed: 5, MaxIter: 1500, LogSpace: true, SVDInit: true, Factors: 6, Reg: 0.03}
+	predB := Reconstruct(bipsM, params)
+	predP := Reconstruct(powerM, params)
+	var errB, errP []float64
+	for k := range test {
+		i := len(train) + k
+		for j := 0; j < config.NumResources; j++ {
+			if j == loIdx || j == hiIdx {
+				continue
+			}
+			errB = append(errB, stats.RelErrPct(predB.At(i, j), truthB[i][j]))
+			errP = append(errP, stats.RelErrPct(predP.At(i, j), truthP[i][j]))
+		}
+	}
+	for name, errs := range map[string][]float64{"throughput": errB, "power": errP} {
+		box := stats.Box(errs)
+		if box.P25 < -12 || box.P75 > 12 {
+			t.Errorf("%s quartiles outside ±12%%: %v", name, box)
+		}
+		if box.P5 < -25 || box.P95 > 27 {
+			t.Errorf("%s 5/95th percentiles outside the Fig. 5a band: %v", name, box)
+		}
+	}
+}

@@ -1,0 +1,532 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/perf"
+	"cuttlesys/internal/power"
+	"cuttlesys/internal/qsim"
+	"cuttlesys/internal/workload"
+)
+
+// DefaultPeakBWGBs is the machine's DRAM bandwidth (eight DDR3/4-class
+// channels for a 32-core server): past roughly 60 % utilisation,
+// queueing at the memory controller inflates effective memory latency.
+const DefaultPeakBWGBs = 110.0
+
+// Spec configures a Machine.
+type Spec struct {
+	Seed uint64
+	// LC is the latency-critical service, or nil for batch-only mixes.
+	LC *workload.Profile
+	// Batch are the batch jobs, one per core at full occupancy.
+	Batch []*workload.Profile
+	// Reconfigurable selects reconfigurable cores (frequency and energy
+	// penalties apply) versus fixed cores for the baselines.
+	Reconfigurable bool
+	// NCores defaults to config.NumMachineCore (32).
+	NCores int
+	// PeakBWGBs defaults to DefaultPeakBWGBs.
+	PeakBWGBs float64
+	// InitLCCores is the LC service's starting core allocation;
+	// defaults to NCores/2 (§VII-A: 50/50 split at t=0) shared evenly
+	// with any extra services.
+	InitLCCores int
+	// ExtraLCs are additional latency-critical services beyond LC —
+	// the paper's §VII-A generalisation ("CuttleSys is generalizable
+	// to any number of LC and batch services"). Allocations for a
+	// machine with extra services must fill Allocation.ExtraLC, and
+	// callers drive it with RunMulti.
+	ExtraLCs []*workload.Profile
+}
+
+// Machine simulates a CMP of reconfigurable (or fixed) cores sharing a
+// 32-way LLC, DRAM bandwidth and a power budget.
+type Machine struct {
+	Perf  *perf.Model
+	Power *power.Model
+
+	lc         *workload.Profile
+	batch      []*workload.Profile
+	nCores     int
+	peakBW     float64
+	svc        *qsim.Service
+	queryInstr float64
+	now        float64
+
+	extraLCs   []*workload.Profile
+	extraSvcs  []*qsim.Service
+	extraInstr []float64
+}
+
+// New constructs a Machine from spec. It panics on invalid profiles so
+// that configuration errors surface at construction, not mid-run.
+func New(spec Spec) *Machine {
+	n := spec.NCores
+	if n == 0 {
+		n = config.NumMachineCore
+	}
+	if n <= 0 {
+		panic("sim: non-positive core count")
+	}
+	bw := spec.PeakBWGBs
+	if bw == 0 {
+		bw = DefaultPeakBWGBs
+	}
+	m := &Machine{
+		Perf:   perf.New(spec.Reconfigurable),
+		Power:  power.New(spec.Reconfigurable),
+		lc:     spec.LC,
+		batch:  spec.Batch,
+		nCores: n,
+		peakBW: bw,
+	}
+	for _, app := range spec.Batch {
+		if err := app.Validate(); err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+		if app.IsLC() {
+			panic(fmt.Sprintf("sim: %s is latency-critical but listed as batch", app.Name))
+		}
+	}
+	if spec.LC != nil {
+		if err := spec.LC.Validate(); err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+		if !spec.LC.IsLC() {
+			panic(fmt.Sprintf("sim: %s is not latency-critical", spec.LC.Name))
+		}
+		k := spec.InitLCCores
+		if k == 0 {
+			k = n / 2 / (1 + len(spec.ExtraLCs))
+		}
+		m.svc = qsim.NewService(spec.Seed, k)
+		m.queryInstr = m.Perf.QueryInstr(spec.LC)
+	}
+	for i, x := range spec.ExtraLCs {
+		if spec.LC == nil {
+			panic("sim: ExtraLCs requires a primary LC service")
+		}
+		if err := x.Validate(); err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+		if !x.IsLC() {
+			panic(fmt.Sprintf("sim: %s is not latency-critical", x.Name))
+		}
+		k := spec.InitLCCores
+		if k == 0 {
+			k = n / 2 / (1 + len(spec.ExtraLCs))
+		}
+		m.extraLCs = append(m.extraLCs, x)
+		m.extraSvcs = append(m.extraSvcs, qsim.NewService(spec.Seed+uint64(i)+1, k))
+		m.extraInstr = append(m.extraInstr, m.Perf.QueryInstr(x))
+	}
+	return m
+}
+
+// ExtraLCs returns the machine's additional latency-critical services.
+func (m *Machine) ExtraLCs() []*workload.Profile { return m.extraLCs }
+
+// NCores returns the machine's core count.
+func (m *Machine) NCores() int { return m.nCores }
+
+// LC returns the latency-critical service profile, or nil.
+func (m *Machine) LC() *workload.Profile { return m.lc }
+
+// Batch returns the batch job profiles.
+func (m *Machine) Batch() []*workload.Profile { return m.batch }
+
+// Now returns the simulated wall clock in seconds.
+func (m *Machine) Now() float64 { return m.now }
+
+// PhaseResult reports one phase of execution under a fixed allocation.
+type PhaseResult struct {
+	Dur float64
+
+	// BatchBIPS is each job's achieved throughput in billions of
+	// instructions per second, already scaled by time multiplexing;
+	// zero for gated jobs.
+	BatchBIPS []float64
+	// BatchInstrB is the billions of instructions each job executed.
+	BatchInstrB []float64
+
+	// Sojourns are the LC queries' total latencies (seconds) for
+	// queries arriving in this phase; empty without an LC service.
+	Sojourns []float64
+	// LCMeanSvc is the mean per-query service time under this
+	// allocation, seconds.
+	LCMeanSvc float64
+
+	// BatchPowerW is each job's per-core power draw in watts at its
+	// configuration (unscaled by multiplexing; zero for gated jobs) —
+	// what a per-core power sensor would report during profiling.
+	BatchPowerW []float64
+	// LCCorePowerW is one LC core's power draw in watts.
+	LCCorePowerW float64
+
+	// PowerW is the average chip power over the phase.
+	PowerW float64
+	// Inflation is the converged memory-latency inflation from DRAM
+	// bandwidth contention (1 = uncontended).
+	Inflation float64
+	// EffWays are the effective LLC ways each batch job observed.
+	EffWays []float64
+	// EffWaysLC is the LC service's effective LLC ways.
+	EffWaysLC float64
+
+	// Per-extra-service results (multi-service machines), in
+	// Spec.ExtraLCs order.
+	ExtraSojourns  [][]float64
+	ExtraMeanSvc   []float64
+	ExtraLCPowerW  []float64
+	ExtraEffWaysLC []float64
+}
+
+// Run executes one phase of durSec seconds under alloc with the LC
+// service offered qps queries per second. The allocation is validated;
+// errors indicate scheduler bugs and panic. Machines with extra
+// services must use RunMulti.
+func (m *Machine) Run(alloc Allocation, durSec, qps float64) PhaseResult {
+	if len(m.extraLCs) > 0 {
+		panic("sim: Run on a multi-service machine; use RunMulti")
+	}
+	return m.RunMulti(alloc, durSec, []float64{qps})
+}
+
+// RunMulti executes one phase with one offered load per
+// latency-critical service (primary first). On a single-service
+// machine it is equivalent to Run.
+func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) PhaseResult {
+	if durSec <= 0 {
+		panic("sim: Run with non-positive duration")
+	}
+	if err := alloc.Validate(len(m.batch), m.lc != nil, m.nCores); err != nil {
+		panic(err)
+	}
+	if len(alloc.ExtraLC) != len(m.extraLCs) {
+		panic(fmt.Sprintf("sim: allocation has %d extra-service assignments, machine has %d services",
+			len(alloc.ExtraLC), len(m.extraLCs)))
+	}
+	want := 1
+	if m.lc == nil {
+		want = 0
+	}
+	want += len(m.extraLCs)
+	if len(qps) < want {
+		panic(fmt.Sprintf("sim: %d offered loads for %d services", len(qps), want))
+	}
+	var qps0 float64
+	if len(qps) > 0 {
+		qps0 = qps[0]
+	}
+
+	effBatch, effLC, effExtra := m.effectiveWays(&alloc)
+
+	// Converge the bandwidth fixed point: IPCs determine DRAM traffic,
+	// which determines latency inflation, which feeds back into IPCs.
+	inflation := 1.0
+	for iter := 0; iter < 3; iter++ {
+		traffic := 0.0
+		for i, b := range alloc.Batch {
+			if b.Gated {
+				continue
+			}
+			f := m.freqFor(b.FreqGHz)
+			ipc := m.Perf.IPCAtFreq(m.batch[i], b.Core, effBatch[i], inflation, f)
+			missesPerInstr := m.batch[i].MemFrac * m.batch[i].L1MissRate * m.batch[i].MissRatio(effBatch[i])
+			traffic += ipc * f * missesPerInstr * 64
+		}
+		if m.lc != nil && alloc.LCCores > 0 {
+			perCore := m.Perf.DRAMTrafficGBs(m.lc, alloc.LCCore, effLC, inflation)
+			util := m.lcUtilisation(&alloc, qps0, effLC, inflation)
+			traffic += perCore * float64(alloc.LCCores) * util
+		}
+		for x, e := range alloc.ExtraLC {
+			app := m.extraLCs[x]
+			perCore := m.Perf.DRAMTrafficGBs(app, e.Core, effExtra[x], inflation)
+			ipc := m.Perf.IPC(app, e.Core, effExtra[x], inflation)
+			meanSvc := m.extraInstr[x] / (ipc * m.Perf.FreqGHz() * 1e9)
+			util := math.Min(1, qps[x+1]*meanSvc/float64(e.Cores))
+			traffic += perCore * float64(e.Cores) * util
+		}
+		inflation = bandwidthInflation(traffic / m.peakBW)
+	}
+
+	res := PhaseResult{
+		Dur:         durSec,
+		BatchBIPS:   make([]float64, len(m.batch)),
+		BatchInstrB: make([]float64, len(m.batch)),
+		BatchPowerW: make([]float64, len(m.batch)),
+		EffWays:     effBatch,
+		EffWaysLC:   effLC,
+		Inflation:   inflation,
+	}
+
+	mux := alloc.MultiplexFactor(m.nCores)
+	totalPower := 0.0
+
+	// Batch jobs.
+	activeCoresUsed := 0
+	for i, b := range alloc.Batch {
+		if b.Gated {
+			totalPower += power.GatedCoreW
+			continue
+		}
+		f := m.freqFor(b.FreqGHz)
+		ipc := m.Perf.IPCAtFreq(m.batch[i], b.Core, effBatch[i], inflation, f)
+		bips := ipc * f * mux
+		res.BatchBIPS[i] = bips
+		res.BatchInstrB[i] = bips * durSec
+		corePower := m.Power.CoreAtDVFS(m.batch[i], b.Core, ipc, f)
+		res.BatchPowerW[i] = corePower
+		totalPower += corePower * mux
+		activeCoresUsed++
+	}
+	// Batch cores left idle (more cores than active jobs) sit gated.
+	if spare := alloc.BatchCores(m.nCores) - activeCoresUsed; spare > 0 {
+		totalPower += float64(spare) * power.GatedCoreW
+	}
+
+	// Latency-critical service.
+	if m.lc != nil && alloc.LCCores > 0 {
+		m.svc.SetServers(alloc.LCCores)
+		lcFreq := m.freqFor(alloc.LCFreqGHz)
+		ipc := m.Perf.IPCAtFreq(m.lc, alloc.LCCore, effLC, inflation, lcFreq)
+		rateIPC := ipc
+		if alloc.LCHalfBlend {
+			other := config.Narrowest
+			if alloc.LCCore == config.Narrowest {
+				other = config.Widest
+			}
+			rateIPC = (ipc + m.Perf.IPCAtFreq(m.lc, other, effLC, inflation, lcFreq)) / 2
+		}
+		meanSvc := m.queryInstr / (rateIPC * lcFreq * 1e9)
+		res.LCMeanSvc = meanSvc
+		res.Sojourns = m.svc.Step(durSec, qps0, meanSvc, m.lc.QuerySigma)
+		util := math.Min(1, qps0*meanSvc/float64(alloc.LCCores))
+		// Dynamic power scales with how busy the LC cores actually are.
+		// The reported per-core sample is for LCCore itself — what a
+		// sensor on one of the LCCore-configured cores would read.
+		res.LCCorePowerW = m.Power.CoreAtDVFS(m.lc, alloc.LCCore, ipc*util, lcFreq)
+		if alloc.LCHalfBlend {
+			other := config.Narrowest
+			if alloc.LCCore == config.Narrowest {
+				other = config.Widest
+			}
+			otherIPC := m.Perf.IPCAtFreq(m.lc, other, effLC, inflation, lcFreq)
+			otherPower := m.Power.CoreAtDVFS(m.lc, other, otherIPC*util, lcFreq)
+			totalPower += float64(alloc.LCCores) * (res.LCCorePowerW + otherPower) / 2
+		} else {
+			totalPower += float64(alloc.LCCores) * res.LCCorePowerW
+		}
+	}
+
+	// Additional latency-critical services.
+	for x, e := range alloc.ExtraLC {
+		app := m.extraLCs[x]
+		svc := m.extraSvcs[x]
+		svc.SetServers(e.Cores)
+		ipc := m.Perf.IPC(app, e.Core, effExtra[x], inflation)
+		rateIPC := ipc
+		if e.HalfBlend {
+			other := config.Narrowest
+			if e.Core == config.Narrowest {
+				other = config.Widest
+			}
+			rateIPC = (ipc + m.Perf.IPC(app, other, effExtra[x], inflation)) / 2
+		}
+		meanSvc := m.extraInstr[x] / (rateIPC * m.Perf.FreqGHz() * 1e9)
+		res.ExtraMeanSvc = append(res.ExtraMeanSvc, meanSvc)
+		res.ExtraSojourns = append(res.ExtraSojourns,
+			svc.Step(durSec, qps[x+1], meanSvc, app.QuerySigma))
+		util := math.Min(1, qps[x+1]*meanSvc/float64(e.Cores))
+		p := m.Power.Core(app, e.Core, ipc*util)
+		res.ExtraLCPowerW = append(res.ExtraLCPowerW, p)
+		res.ExtraEffWaysLC = append(res.ExtraEffWaysLC, effExtra[x])
+		if e.HalfBlend {
+			other := config.Narrowest
+			if e.Core == config.Narrowest {
+				other = config.Widest
+			}
+			otherIPC := m.Perf.IPC(app, other, effExtra[x], inflation)
+			otherPower := m.Power.Core(app, other, otherIPC*util)
+			totalPower += float64(e.Cores) * (p + otherPower) / 2
+		} else {
+			totalPower += float64(e.Cores) * p
+		}
+	}
+
+	totalPower += m.Power.LLC(config.LLCWays) + m.Power.Uncore(m.nCores)
+	res.PowerW = totalPower
+	m.now += durSec
+	return res
+}
+
+// lcUtilisation estimates the LC cores' busy fraction for the
+// bandwidth fixed point.
+func (m *Machine) lcUtilisation(alloc *Allocation, qps, effLC, inflation float64) float64 {
+	f := m.freqFor(alloc.LCFreqGHz)
+	ipc := m.Perf.IPCAtFreq(m.lc, alloc.LCCore, effLC, inflation, f)
+	meanSvc := m.queryInstr / (ipc * f * 1e9)
+	return math.Min(1, qps*meanSvc/float64(alloc.LCCores))
+}
+
+// freqFor resolves a per-assignment frequency override against the
+// design's nominal clock.
+func (m *Machine) freqFor(override float64) float64 {
+	if override > 0 {
+		return override
+	}
+	return m.Perf.FreqGHz()
+}
+
+// effectiveWays computes the LLC ways each application observes. Under
+// partitioning each job sees its allocation. Without partitioning all
+// active applications contend for the 32 ways with occupancy
+// proportional to per-core capacity demand (working-set size), the
+// first-order behaviour of shared LRU.
+func (m *Machine) effectiveWays(alloc *Allocation) (batch []float64, lc float64, extra []float64) {
+	batch = make([]float64, len(m.batch))
+	extra = make([]float64, len(alloc.ExtraLC))
+	if !alloc.NoPartition {
+		for i, b := range alloc.Batch {
+			if !b.Gated {
+				batch[i] = b.Cache.Ways()
+			}
+		}
+		if m.lc != nil && alloc.LCCores > 0 {
+			lc = alloc.LCCache.Ways()
+		}
+		for x, e := range alloc.ExtraLC {
+			extra[x] = e.Cache.Ways()
+		}
+		return batch, lc, extra
+	}
+	// Unpartitioned LRU equilibrium: an application's occupancy is
+	// proportional to its insertion (miss) rate, and its miss rate
+	// rises as its occupancy shrinks — a negative feedback this fixed
+	// point captures. Access weights are per-core miss traffic; the LC
+	// service inserts from all of its cores into one shared working
+	// set.
+	type sharer struct {
+		weight float64
+		miss   func(float64) float64
+		ways   float64
+	}
+	var sharers []sharer
+	for i, b := range alloc.Batch {
+		if b.Gated {
+			continue
+		}
+		app := m.batch[i]
+		sharers = append(sharers, sharer{
+			weight: app.MemFrac * app.L1MissRate,
+			miss:   app.MissRatio,
+		})
+		_ = i
+	}
+	lcIdx := -1
+	if m.lc != nil && alloc.LCCores > 0 {
+		lcIdx = len(sharers)
+		sharers = append(sharers, sharer{
+			weight: m.lc.MemFrac * m.lc.L1MissRate * float64(alloc.LCCores),
+			miss:   m.lc.MissRatio,
+		})
+	}
+	extraIdx := make([]int, len(alloc.ExtraLC))
+	for x, e := range alloc.ExtraLC {
+		app := m.extraLCs[x]
+		extraIdx[x] = len(sharers)
+		sharers = append(sharers, sharer{
+			weight: app.MemFrac * app.L1MissRate * float64(e.Cores),
+			miss:   app.MissRatio,
+		})
+	}
+	if len(sharers) == 0 {
+		return batch, 0, extra
+	}
+	for i := range sharers {
+		sharers[i].ways = float64(config.LLCWays) / float64(len(sharers))
+	}
+	// Reuse keeps a baseline share alive — a small, hot working set
+	// re-references its lines long before they age out of the LRU
+	// stack — so equilibrium occupancy blends an equal share with the
+	// insertion-rate share.
+	const reuseFloor = 0.25
+	equal := float64(config.LLCWays) / float64(len(sharers))
+	for iter := 0; iter < 8; iter++ {
+		total := 0.0
+		for i := range sharers {
+			total += sharers[i].weight * sharers[i].miss(sharers[i].ways)
+		}
+		if total <= 0 {
+			break
+		}
+		for i := range sharers {
+			insertion := float64(config.LLCWays) * sharers[i].weight * sharers[i].miss(sharers[i].ways) / total
+			target := reuseFloor*equal + (1-reuseFloor)*insertion
+			sharers[i].ways = 0.5*sharers[i].ways + 0.5*target
+		}
+	}
+	si := 0
+	for i, b := range alloc.Batch {
+		if b.Gated {
+			continue
+		}
+		batch[i] = sharers[si].ways
+		si++
+	}
+	if lcIdx >= 0 {
+		lc = sharers[lcIdx].ways
+	}
+	for x, si := range extraIdx {
+		extra[x] = sharers[si].ways
+	}
+	return batch, lc, extra
+}
+
+// bandwidthInflation maps DRAM bandwidth utilisation to a memory
+// latency multiplier: free below ~60 % utilisation, then quadratic
+// queueing growth, capped to keep the fixed point stable.
+func bandwidthInflation(util float64) float64 {
+	if util <= 0.6 {
+		return 1
+	}
+	infl := 1 + 2.5*(util-0.6)*(util-0.6)
+	if infl > 6 {
+		infl = 6
+	}
+	return infl
+}
+
+// MaxPowerW returns the machine's reference power budget (§VII-A): the
+// average per-core power across all jobs running on reconfigurable
+// cores in the widest configuration, scaled to the full core count,
+// plus LLC and uncore. Experiments express power caps as fractions of
+// this value.
+func (m *Machine) MaxPowerW() float64 {
+	refPerf := perf.New(true)
+	refPower := power.New(true)
+	sum, n := 0.0, 0
+	for _, app := range m.batch {
+		ipc := refPerf.IPC(app, config.Widest, config.FourWays.Ways(), 1)
+		sum += refPower.Core(app, config.Widest, ipc)
+		n++
+	}
+	if m.lc != nil {
+		ipc := refPerf.IPC(m.lc, config.Widest, config.FourWays.Ways(), 1)
+		p := refPower.Core(m.lc, config.Widest, ipc)
+		// The LC service holds half the machine at t=0 (§VII-A), so it
+		// contributes that many per-core samples to the average.
+		k := m.nCores / 2
+		sum += p * float64(k)
+		n += k
+	}
+	if n == 0 {
+		return m.Power.LLC(config.LLCWays) + m.Power.Uncore(m.nCores)
+	}
+	return sum/float64(n)*float64(m.nCores) +
+		refPower.LLC(config.LLCWays) + refPower.Uncore(m.nCores)
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/perf"
+	"cuttlesys/internal/power"
+	"cuttlesys/internal/qsim"
+	"cuttlesys/internal/rng"
+	"cuttlesys/internal/stats"
+	"cuttlesys/internal/workload"
+)
+
+// BatchSurfaces returns the ground-truth throughput (BIPS) and per-core
+// power (W) of a batch application across all 108 resource
+// configurations, running in isolation with uncontended memory. These
+// surfaces seed the "known applications" rows of the reconstruction
+// matrices (§V) and serve as the reference for the Fig. 5a accuracy
+// study.
+func BatchSurfaces(pm *perf.Model, wm *power.Model, app *workload.Profile) (bips, pwr []float64) {
+	bips = make([]float64, config.NumResources)
+	pwr = make([]float64, config.NumResources)
+	for i, r := range config.AllResources() {
+		ipc := pm.IPC(app, r.Core, r.Cache.Ways(), 1)
+		bips[i] = ipc * pm.FreqGHz()
+		pwr[i] = wm.Core(app, r.Core, ipc)
+	}
+	return bips, pwr
+}
+
+// LCSurfaces returns the ground-truth p99 tail latency (milliseconds)
+// and per-core power (W) of a latency-critical service across all 108
+// resource configurations, served by k load-balanced cores at loadFrac
+// of the service's max QPS. Tail latency comes from the discrete-event
+// queueing simulator run for simSec seconds per configuration;
+// saturated configurations report their (finite, large) simulated
+// backlog-driven p99. memInflation sets the memory-latency inflation
+// the characterisation runs under: 1 for an idle machine, ~1.35 for a
+// server colocated with batch jobs — the paper's known applications
+// are characterised on the same multi-tenant setup they later inform.
+func LCSurfaces(pm *perf.Model, wm *power.Model, app *workload.Profile, k int, loadFrac float64, seed uint64, simSec, memInflation float64) (latMs, pwr []float64) {
+	if !app.IsLC() {
+		panic("sim: LCSurfaces on a batch application")
+	}
+	latMs = make([]float64, config.NumResources)
+	pwr = make([]float64, config.NumResources)
+	qps := loadFrac * app.MaxQPS
+	queryInstr := pm.QueryInstr(app)
+	for i, r := range config.AllResources() {
+		ipc := pm.IPC(app, r.Core, r.Cache.Ways(), memInflation)
+		meanSvc := queryInstr / (ipc * pm.FreqGHz() * 1e9)
+		svc := qsim.NewService(seed+uint64(i), k)
+		var sojourns []float64
+		steps := int(math.Ceil(simSec / 0.1))
+		for s := 0; s < steps; s++ {
+			sojourns = append(sojourns, svc.Step(0.1, qps, meanSvc, app.QuerySigma)...)
+		}
+		latMs[i] = stats.P99(sojourns) * 1e3
+		util := math.Min(1, qps*meanSvc/float64(k))
+		pwr[i] = wm.Core(app, r.Core, ipc*util)
+	}
+	return latMs, pwr
+}
+
+// LCServiceTimes returns a latency-critical service's mean per-query
+// service time (milliseconds) across all 108 resource configurations
+// under the given memory-latency inflation. Unlike the p99 surface,
+// mean service time has no queueing knee — it is IPC-shaped and
+// therefore easy for the collaborative filter to predict — so the
+// runtime uses its reconstruction to estimate per-configuration
+// utilisation and veto saturating configurations.
+func LCServiceTimes(pm *perf.Model, app *workload.Profile, memInflation float64) []float64 {
+	if !app.IsLC() {
+		panic("sim: LCServiceTimes on a batch application")
+	}
+	out := make([]float64, config.NumResources)
+	queryInstr := pm.QueryInstr(app)
+	for i, r := range config.AllResources() {
+		ipc := pm.IPC(app, r.Core, r.Cache.Ways(), memInflation)
+		out[i] = queryInstr / (ipc * pm.FreqGHz() * 1e9) * 1e3
+	}
+	return out
+}
+
+// Measure applies multiplicative measurement noise to a true value:
+// v·(1+ε) with ε ~ N(0, relSigma) truncated at ±3σ. Profiling samples
+// collected over 1 ms windows are noisy (§VIII-B); the runtime's
+// reconstruction must tolerate it.
+func Measure(r *rng.RNG, v, relSigma float64) float64 {
+	eps := stats.Clamp(r.Norm(), -3, 3) * relSigma
+	return v * (1 + eps)
+}

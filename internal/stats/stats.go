@@ -1,0 +1,209 @@
+// Package stats provides the summary statistics used across the
+// evaluation harness: percentiles (tail latency), geometric means (the
+// paper's batch-throughput objective, Eq. 1), box-plot five-number
+// summaries (Figs. 5 and 9), and relative-error metrics for the
+// reconstruction accuracy studies.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 when
+// fewer than two samples are present.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive inputs would
+// make the geometric mean undefined; they are clamped to a tiny positive
+// value so that a single zero-throughput application drives the
+// objective toward zero rather than producing NaN (the behaviour the
+// scheduler wants: killing one batch job is heavily penalised).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	const tiny = 1e-12
+	sum := 0.0
+	for _, x := range xs {
+		if x < tiny {
+			x = tiny
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+// The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// P99 returns the 99th percentile of xs — the paper's tail-latency
+// metric.
+func P99(xs []float64) float64 { return Percentile(xs, 0.99) }
+
+// BoxStats is the five-number summary (plus whisker percentiles) used to
+// report reconstruction error distributions, mirroring the box plots of
+// Figs. 5 and 9.
+type BoxStats struct {
+	P5, P25, Median, P75, P95 float64
+	Min, Max                  float64
+	N                         int
+}
+
+// Box computes a BoxStats over xs.
+func Box(xs []float64) BoxStats {
+	if len(xs) == 0 {
+		return BoxStats{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return BoxStats{
+		P5:     percentileSorted(sorted, 0.05),
+		P25:    percentileSorted(sorted, 0.25),
+		Median: percentileSorted(sorted, 0.50),
+		P75:    percentileSorted(sorted, 0.75),
+		P95:    percentileSorted(sorted, 0.95),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		N:      len(sorted),
+	}
+}
+
+// String renders the summary in a compact one-line form for experiment
+// tables.
+func (b BoxStats) String() string {
+	return fmt.Sprintf("n=%d min=%.2f p5=%.2f p25=%.2f med=%.2f p75=%.2f p95=%.2f max=%.2f",
+		b.N, b.Min, b.P5, b.P25, b.Median, b.P75, b.P95, b.Max)
+}
+
+// RelErrPct returns the signed relative error of predicted vs actual as
+// a percentage: 100·(pred−actual)/actual. When actual is (near) zero the
+// error is reported against a small floor to avoid infinities; the
+// accuracy experiments filter such entries.
+func RelErrPct(pred, actual float64) float64 {
+	denom := math.Abs(actual)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	return 100 * (pred - actual) / denom
+}
+
+// MAPE returns the mean absolute percentage error between paired
+// prediction and actual slices. It panics if the lengths differ.
+func MAPE(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic("stats: MAPE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pred {
+		sum += math.Abs(RelErrPct(pred[i], actual[i]))
+	}
+	return sum / float64(len(pred))
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// MaxIdx returns the index of the maximum element of xs, or -1 when xs
+// is empty. Ties resolve to the earliest index.
+func MaxIdx(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MinIdx returns the index of the minimum element of xs, or -1 when xs
+// is empty. Ties resolve to the earliest index.
+func MinIdx(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

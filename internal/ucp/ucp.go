@@ -1,0 +1,77 @@
+// Package ucp implements Utility-based Cache Partitioning (Qureshi &
+// Patt [80]) — the way-partitioning scheme the paper's core-gating
+// baseline uses ("core-gating with LLC way-partitioning", §VII-B),
+// since the technique is available on real cloud servers.
+//
+// Each application contributes a utility curve — the LLC misses it
+// avoids per unit time as a function of allocated ways — and the
+// lookahead algorithm greedily assigns ways to whichever application
+// offers the highest marginal utility per way, considering multi-way
+// steps so that curves with plateaus followed by cliffs (streaming
+// working sets) are handled correctly.
+package ucp
+
+// Curve is one application's demand on the cache.
+type Curve struct {
+	// MissRatio returns the LLC miss ratio at the given ways.
+	MissRatio func(ways float64) float64
+	// Weight converts miss-ratio reduction into utility — accesses per
+	// unit time (an app that rarely touches the LLC gains little from
+	// ways regardless of its curve shape).
+	Weight float64
+}
+
+// Partition assigns totalWays integer ways among the applications,
+// giving each at least minWays, maximising total utility with the UCP
+// lookahead algorithm. It panics when the budget cannot cover the
+// minimum allocations. The returned slice sums to exactly totalWays
+// (leftover ways with zero marginal utility are distributed
+// round-robin, matching hardware that cannot leave ways unpowered to
+// no one).
+func Partition(curves []Curve, totalWays, minWays int) []int {
+	n := len(curves)
+	if n == 0 {
+		return nil
+	}
+	if minWays < 0 {
+		minWays = 0
+	}
+	if n*minWays > totalWays {
+		panic("ucp: budget below minimum allocations")
+	}
+	alloc := make([]int, n)
+	for i := range alloc {
+		alloc[i] = minWays
+	}
+	balance := totalWays - n*minWays
+
+	utility := func(i, from, to int) float64 {
+		return curves[i].Weight *
+			(curves[i].MissRatio(float64(from)) - curves[i].MissRatio(float64(to)))
+	}
+
+	for balance > 0 {
+		bestApp, bestSteps := -1, 0
+		bestMU := 0.0
+		for i := range curves {
+			// Lookahead: the step size maximising utility per way.
+			for k := 1; k <= balance; k++ {
+				mu := utility(i, alloc[i], alloc[i]+k) / float64(k)
+				if mu > bestMU {
+					bestMU, bestApp, bestSteps = mu, i, k
+				}
+			}
+		}
+		if bestApp < 0 {
+			break // no one benefits; distribute the rest below
+		}
+		alloc[bestApp] += bestSteps
+		balance -= bestSteps
+	}
+	// Hand out zero-utility leftovers round-robin.
+	for i := 0; balance > 0; i = (i + 1) % n {
+		alloc[i]++
+		balance--
+	}
+	return alloc
+}

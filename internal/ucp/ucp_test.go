@@ -1,0 +1,130 @@
+package ucp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cuttlesys/internal/workload"
+)
+
+func curveFor(p *workload.Profile) Curve {
+	return Curve{
+		MissRatio: p.MissRatio,
+		Weight:    p.MemFrac * p.L1MissRate,
+	}
+}
+
+func TestSumsToBudget(t *testing.T) {
+	apps := workload.SPEC()[:8]
+	curves := make([]Curve, len(apps))
+	for i, a := range apps {
+		curves[i] = curveFor(a)
+	}
+	alloc := Partition(curves, 32, 1)
+	sum := 0
+	for i, w := range alloc {
+		if w < 1 {
+			t.Fatalf("app %d below minimum: %d", i, w)
+		}
+		sum += w
+	}
+	if sum != 32 {
+		t.Fatalf("allocation sums to %d, want 32", sum)
+	}
+}
+
+func TestCacheHungryAppsWinWays(t *testing.T) {
+	mcf, _ := workload.ByName("mcf")       // large working set, memory-bound
+	gamess, _ := workload.ByName("gamess") // tiny working set
+	curves := []Curve{curveFor(mcf), curveFor(gamess)}
+	alloc := Partition(curves, 16, 1)
+	if alloc[0] <= alloc[1] {
+		t.Fatalf("mcf got %d ways, gamess %d — memory-bound app should win", alloc[0], alloc[1])
+	}
+}
+
+func TestZeroWeightGetsMinimum(t *testing.T) {
+	flat := Curve{MissRatio: func(float64) float64 { return 0.5 }, Weight: 0}
+	hungry := curveFor(func() *workload.Profile { p, _ := workload.ByName("mcf"); return p }())
+	alloc := Partition([]Curve{flat, hungry}, 10, 1)
+	if alloc[0] != 1 {
+		t.Fatalf("zero-weight app got %d ways, want the minimum 1", alloc[0])
+	}
+	if alloc[1] != 9 {
+		t.Fatalf("remaining ways not given to the only beneficiary: %v", alloc)
+	}
+}
+
+func TestAllFlatCurvesDistributesEvenly(t *testing.T) {
+	flat := Curve{MissRatio: func(float64) float64 { return 0.5 }, Weight: 1}
+	alloc := Partition([]Curve{flat, flat, flat, flat}, 8, 1)
+	sum := 0
+	for _, w := range alloc {
+		sum += w
+	}
+	if sum != 8 {
+		t.Fatalf("flat curves: sum %d, want 8", sum)
+	}
+}
+
+func TestLookaheadHandlesCliffCurves(t *testing.T) {
+	// App A: no benefit until 4 ways, then a cliff. App B: small smooth
+	// gains. Greedy single-way allocation would starve A; lookahead
+	// must see the cliff.
+	cliff := Curve{
+		MissRatio: func(w float64) float64 {
+			if w >= 4 {
+				return 0.05
+			}
+			return 0.9
+		},
+		Weight: 1,
+	}
+	smooth := Curve{
+		MissRatio: func(w float64) float64 { return 0.5 / (1 + w*0.05) },
+		Weight:    1,
+	}
+	alloc := Partition([]Curve{cliff, smooth}, 6, 0)
+	if alloc[0] < 4 {
+		t.Fatalf("lookahead missed the cliff: %v", alloc)
+	}
+}
+
+func TestMinimumBudgetPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("infeasible minimums did not panic")
+		}
+	}()
+	flat := Curve{MissRatio: func(float64) float64 { return 0 }, Weight: 0}
+	Partition([]Curve{flat, flat, flat}, 2, 1)
+}
+
+func TestEmptyInput(t *testing.T) {
+	if got := Partition(nil, 32, 1); got != nil {
+		t.Fatalf("empty input should return nil, got %v", got)
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw, budgetRaw uint8) bool {
+		n := 1 + int(nRaw%10)
+		budget := n + int(budgetRaw%32)
+		apps := workload.Synthetic(seed, n)
+		curves := make([]Curve, n)
+		for i, a := range apps {
+			curves[i] = curveFor(a)
+		}
+		alloc := Partition(curves, budget, 1)
+		sum := 0
+		for _, w := range alloc {
+			if w < 1 {
+				return false
+			}
+			sum += w
+		}
+		return sum == budget
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,385 @@
+// Package workload defines the application models the evaluation runs
+// on: 28 synthetic batch profiles named after the SPEC CPU2006
+// benchmarks the paper uses (§VII-A), and 5 latency-critical service
+// profiles named after the TailBench suite (Xapian, Masstree, ImgDNN,
+// Moses, Silo).
+//
+// The original evaluation executes the real binaries under zsim; that
+// substrate is unavailable here (see DESIGN.md §1), so each application
+// is instead described by the first-order characteristics that drive
+// the paper's decision problem: inherent ILP, per-section width
+// sensitivity, branchiness, memory intensity, memory-level parallelism,
+// and an LLC miss-rate-versus-ways curve. The analytical core model in
+// internal/perf maps these characteristics plus a resource
+// configuration to IPC, and internal/power maps them to watts. What
+// the scheduler — and the collaborative filter — observe is therefore
+// a family of performance/power surfaces with the same qualitative
+// structure the paper characterises in Fig. 1: monotone in width,
+// diminishing returns, and with the bottleneck section differing per
+// application.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"cuttlesys/internal/rng"
+)
+
+// Class distinguishes batch (throughput-oriented) applications from
+// latency-critical interactive services.
+type Class int
+
+// Application classes.
+const (
+	Batch Class = iota
+	LatencyCritical
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == LatencyCritical {
+		return "latency-critical"
+	}
+	return "batch"
+}
+
+// Profile describes one application's first-order microarchitectural
+// behaviour. All fields are inputs to the performance and power models;
+// none are observed directly by the scheduler.
+type Profile struct {
+	Name  string
+	Class Class
+
+	// Compute behaviour.
+	ILP    float64 // inherent instruction-level parallelism (IPC bound from dependencies)
+	FESens float64 // sensitivity exponent to front-end width (0 = insensitive, 1 = linear)
+	BESens float64 // sensitivity exponent to back-end width
+	LSSens float64 // sensitivity exponent to load/store width
+	BrMPKI float64 // branch mispredictions per kilo-instruction
+
+	// Memory behaviour.
+	MemFrac    float64 // fraction of instructions that access memory
+	L1MissRate float64 // fraction of memory accesses missing the L1D
+	MLP        float64 // inherent memory-level parallelism
+	WSWays     float64 // LLC ways at which the miss curve reaches its half point
+	MissFloor  float64 // LLC miss ratio with abundant cache
+	MissCeil   float64 // LLC miss ratio with minimal cache
+	MissSteep  float64 // steepness of the miss curve knee
+
+	// Power behaviour.
+	Activity float64 // dynamic-power activity factor (≈0.6 idle-ish … 1.2 hot)
+
+	// Latency-critical services only.
+	MaxQPS      float64 // max sustainable load on 16 cores (§VII-A knee point)
+	QoSTargetMs float64 // p99 tail-latency QoS target, milliseconds
+	QuerySigma  float64 // log-normal sigma of per-query instruction demand
+	SatUtil     float64 // utilisation at the max-QPS knee (capacity calibration)
+}
+
+// IsLC reports whether the profile is a latency-critical service.
+func (p *Profile) IsLC() bool { return p.Class == LatencyCritical }
+
+// MissRatio returns the LLC miss ratio when the application is
+// allocated the given number of ways. The curve is a logistic-style
+// hill: monotonically non-increasing in ways, MissCeil as ways→0 and
+// approaching MissFloor with abundant cache. Utility-based cache
+// partitioning and the performance model both consume this curve.
+func (p *Profile) MissRatio(ways float64) float64 {
+	if ways < 0 {
+		ways = 0
+	}
+	span := p.MissCeil - p.MissFloor
+	return p.MissFloor + span/(1+math.Pow(ways/p.WSWays, p.MissSteep))
+}
+
+// Validate returns an error when a profile's parameters are outside
+// the ranges the models assume.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile without a name")
+	case p.ILP <= 0 || p.ILP > 8:
+		return fmt.Errorf("workload: %s: ILP %v out of (0,8]", p.Name, p.ILP)
+	case p.FESens < 0 || p.FESens > 1 || p.BESens < 0 || p.BESens > 1 || p.LSSens < 0 || p.LSSens > 1:
+		return fmt.Errorf("workload: %s: sensitivity exponents must be in [0,1]", p.Name)
+	case p.BrMPKI < 0 || p.BrMPKI > 30:
+		return fmt.Errorf("workload: %s: BrMPKI %v out of [0,30]", p.Name, p.BrMPKI)
+	case p.MemFrac <= 0 || p.MemFrac > 0.6:
+		return fmt.Errorf("workload: %s: MemFrac %v out of (0,0.6]", p.Name, p.MemFrac)
+	case p.L1MissRate < 0 || p.L1MissRate > 0.5:
+		return fmt.Errorf("workload: %s: L1MissRate %v out of [0,0.5]", p.Name, p.L1MissRate)
+	case p.MLP < 1 || p.MLP > 12:
+		return fmt.Errorf("workload: %s: MLP %v out of [1,12]", p.Name, p.MLP)
+	case p.WSWays <= 0:
+		return fmt.Errorf("workload: %s: WSWays must be positive", p.Name)
+	case p.MissFloor < 0 || p.MissCeil > 1 || p.MissFloor > p.MissCeil:
+		return fmt.Errorf("workload: %s: miss bounds invalid", p.Name)
+	case p.MissSteep <= 0:
+		return fmt.Errorf("workload: %s: MissSteep must be positive", p.Name)
+	case p.Activity <= 0 || p.Activity > 1.5:
+		return fmt.Errorf("workload: %s: Activity %v out of (0,1.5]", p.Name, p.Activity)
+	}
+	if p.IsLC() {
+		switch {
+		case p.MaxQPS <= 0:
+			return fmt.Errorf("workload: %s: LC service needs MaxQPS", p.Name)
+		case p.QoSTargetMs <= 0:
+			return fmt.Errorf("workload: %s: LC service needs QoSTargetMs", p.Name)
+		case p.QuerySigma <= 0 || p.QuerySigma > 2:
+			return fmt.Errorf("workload: %s: QuerySigma %v out of (0,2]", p.Name, p.QuerySigma)
+		case p.SatUtil <= 0 || p.SatUtil >= 1:
+			return fmt.Errorf("workload: %s: SatUtil %v out of (0,1)", p.Name, p.SatUtil)
+		}
+	}
+	return nil
+}
+
+// spec builds a batch profile. The characteristics below follow each
+// benchmark's published first-order behaviour (memory-bound vs
+// compute-bound vs branchy); exact values are synthetic.
+func spec(name string, ilp, fe, be, ls, brMPKI, memFrac, l1Miss, mlp, ws, mFloor, mCeil, steep, act float64) Profile {
+	return Profile{
+		Name: name, Class: Batch,
+		ILP: ilp, FESens: fe, BESens: be, LSSens: ls, BrMPKI: brMPKI,
+		MemFrac: memFrac, L1MissRate: l1Miss, MLP: mlp,
+		WSWays: ws, MissFloor: mFloor, MissCeil: mCeil, MissSteep: steep,
+		Activity: act,
+	}
+}
+
+// specCatalog holds the 28 SPEC CPU2006 benchmarks of §VII-A.
+//
+//	memory-bound:  mcf, lbm, milc, soplex, libquantum, omnetpp, GemsFDTD,
+//	               leslie3d, sphinx3, xalancbmk, bwaves, zeusmp, cactusADM
+//	compute-bound: gamess, povray, namd, calculix, gromacs, h264ref,
+//	               hmmer, specrand
+//	branchy / FE-bound: gcc, gobmk, sjeng, perlbench, bzip2, astar
+//	mixed: wrf
+var specCatalog = []Profile{
+	//                     ilp   fe    be    ls    mpki  mem   l1m   mlp  ws    flr   ceil  stp  act
+	spec("perlbench" /**/, 2.8, 0.65, 0.45, 0.30, 7.5, 0.32, 0.06, 2.0, 1.5, 0.05, 0.45, 1.6, 0.95),
+	spec("bzip2" /*    */, 2.4, 0.55, 0.50, 0.35, 8.5, 0.30, 0.08, 2.2, 2.0, 0.08, 0.55, 1.5, 0.90),
+	spec("gcc" /*      */, 2.2, 0.70, 0.40, 0.35, 9.0, 0.34, 0.09, 2.4, 2.5, 0.10, 0.60, 1.4, 0.92),
+	spec("mcf" /*      */, 1.3, 0.20, 0.15, 0.60, 10.0, 0.42, 0.32, 4.5, 4.0, 0.25, 0.92, 1.6, 0.70),
+	spec("cactusADM" /**/, 2.0, 0.25, 0.45, 0.55, 0.8, 0.40, 0.18, 4.0, 4.0, 0.20, 0.75, 1.5, 0.85),
+	spec("namd" /*     */, 4.2, 0.35, 0.75, 0.25, 1.2, 0.26, 0.04, 1.8, 0.4, 0.03, 0.25, 2.0, 1.15),
+	spec("soplex" /*   */, 1.8, 0.30, 0.30, 0.60, 4.5, 0.40, 0.20, 4.5, 5.0, 0.22, 0.80, 1.4, 0.80),
+	spec("hmmer" /*    */, 4.5, 0.40, 0.80, 0.30, 0.9, 0.28, 0.03, 1.6, 0.35, 0.02, 0.20, 2.2, 1.20),
+	spec("libquantum" /**/, 1.6, 0.15, 0.25, 0.65, 0.5, 0.38, 0.30, 6.5, 12.0, 0.75, 0.97, 1.2, 0.75),
+	spec("lbm" /*      */, 1.5, 0.15, 0.30, 0.70, 0.4, 0.44, 0.32, 7.0, 10.0, 0.65, 0.95, 1.2, 0.78),
+	spec("bwaves" /*   */, 2.1, 0.20, 0.45, 0.60, 0.6, 0.40, 0.22, 5.0, 7.0, 0.40, 0.85, 1.3, 0.82),
+	spec("zeusmp" /*   */, 2.3, 0.30, 0.50, 0.50, 1.5, 0.36, 0.15, 3.5, 3.5, 0.18, 0.70, 1.5, 0.88),
+	spec("leslie3d" /* */, 2.0, 0.25, 0.45, 0.55, 1.0, 0.38, 0.19, 4.2, 4.5, 0.25, 0.78, 1.4, 0.84),
+	spec("milc" /*     */, 1.6, 0.20, 0.35, 0.65, 0.7, 0.42, 0.26, 5.8, 8.0, 0.50, 0.90, 1.2, 0.76),
+	spec("h264ref" /*  */, 3.8, 0.50, 0.70, 0.35, 3.0, 0.30, 0.05, 2.0, 0.6, 0.04, 0.35, 1.8, 1.10),
+	spec("sjeng" /*    */, 2.1, 0.75, 0.40, 0.25, 11.5, 0.28, 0.05, 1.8, 1.0, 0.04, 0.30, 1.7, 0.90),
+	spec("GemsFDTD" /* */, 1.9, 0.25, 0.40, 0.60, 0.8, 0.40, 0.24, 5.2, 6.5, 0.35, 0.85, 1.3, 0.80),
+	spec("omnetpp" /*  */, 1.5, 0.35, 0.25, 0.55, 7.0, 0.40, 0.22, 3.8, 5.5, 0.28, 0.82, 1.3, 0.75),
+	spec("xalancbmk" /**/, 1.8, 0.50, 0.30, 0.50, 8.0, 0.38, 0.16, 3.0, 4.0, 0.18, 0.72, 1.4, 0.82),
+	spec("sphinx3" /*  */, 2.2, 0.30, 0.45, 0.55, 2.5, 0.36, 0.17, 3.8, 4.0, 0.20, 0.74, 1.4, 0.85),
+	spec("astar" /*    */, 1.9, 0.55, 0.30, 0.45, 9.5, 0.34, 0.12, 2.6, 3.0, 0.14, 0.65, 1.4, 0.85),
+	spec("gromacs" /*  */, 3.6, 0.40, 0.70, 0.30, 1.8, 0.28, 0.04, 1.8, 0.45, 0.03, 0.28, 2.0, 1.10),
+	spec("gamess" /*   */, 4.8, 0.45, 0.85, 0.25, 1.0, 0.26, 0.02, 1.5, 0.3, 0.02, 0.15, 2.4, 1.25),
+	spec("gobmk" /*    */, 2.0, 0.80, 0.35, 0.25, 12.5, 0.30, 0.04, 1.6, 1.0, 0.03, 0.28, 1.7, 0.88),
+	spec("povray" /*   */, 4.0, 0.50, 0.80, 0.25, 2.2, 0.26, 0.02, 1.5, 0.25, 0.02, 0.12, 2.4, 1.20),
+	spec("specrand" /* */, 3.0, 0.30, 0.60, 0.30, 0.3, 0.24, 0.02, 1.4, 0.2, 0.01, 0.10, 2.5, 1.00),
+	spec("calculix" /* */, 3.9, 0.35, 0.75, 0.30, 1.4, 0.28, 0.05, 2.0, 0.5, 0.04, 0.30, 2.0, 1.12),
+	spec("wrf" /*      */, 2.6, 0.35, 0.55, 0.45, 2.0, 0.34, 0.12, 3.2, 3.0, 0.14, 0.62, 1.5, 0.92),
+}
+
+// tailbenchCatalog holds the five TailBench services of §VII-A with the
+// paper's 16-core max-QPS knee points (Xapian 22k, Masstree 17k,
+// ImgDNN 8k, Moses 8k, Silo 24k). QoS targets are p99 latencies in the
+// range the TailBench methodology uses for each service class; the
+// per-section sensitivities encode the Fig. 1 characterisation —
+// Xapian load/store-bound, Moses front-end-bound, ImgDNN/Masstree/Silo
+// sensitive to FE+LS with a narrow back-end sufficing.
+var tailbenchCatalog = []Profile{
+	{
+		Name: "xapian", Class: LatencyCritical,
+		// Websearch: pointer-chasing over the inverted index — tail
+		// latency primarily determined by the load/store queue (Fig. 1).
+		ILP: 2.2, FESens: 0.10, BESens: 0.05, LSSens: 0.75, BrMPKI: 3.0,
+		MemFrac: 0.44, L1MissRate: 0.12, MLP: 7,
+		WSWays: 4.0, MissFloor: 0.15, MissCeil: 0.80, MissSteep: 1.4,
+		Activity: 0.88,
+		MaxQPS:   22000, QoSTargetMs: 8, QuerySigma: 0.55, SatUtil: 0.75,
+	},
+	{
+		Name: "masstree", Class: LatencyCritical,
+		// In-memory key-value store: FE and LS both matter; BE of 2 is
+		// enough ({4,2,4} best trade-off in Fig. 1).
+		ILP: 2.0, FESens: 0.55, BESens: 0.05, LSSens: 0.60, BrMPKI: 3.0,
+		MemFrac: 0.42, L1MissRate: 0.14, MLP: 6,
+		WSWays: 5.0, MissFloor: 0.22, MissCeil: 0.85, MissSteep: 1.3,
+		Activity: 0.84,
+		MaxQPS:   17000, QoSTargetMs: 10, QuerySigma: 0.45, SatUtil: 0.75,
+	},
+	{
+		Name: "imgdnn", Class: LatencyCritical,
+		// Handwriting-recognition DNN: dense compute, FE+LS sensitive
+		// ({4,2,4} best trade-off in Fig. 1).
+		ILP: 3.4, FESens: 0.45, BESens: 0.10, LSSens: 0.45, BrMPKI: 1.2,
+		MemFrac: 0.34, L1MissRate: 0.08, MLP: 5,
+		WSWays: 2.0, MissFloor: 0.06, MissCeil: 0.55, MissSteep: 1.6,
+		Activity: 1.05,
+		MaxQPS:   8000, QoSTargetMs: 10, QuerySigma: 0.35, SatUtil: 0.75,
+	},
+	{
+		Name: "moses", Class: LatencyCritical,
+		// Statistical machine translation: branchy phrase-table walks —
+		// tail latency depends primarily on the front-end ({6,2,4} best
+		// trade-off in Fig. 1).
+		ILP: 2.4, FESens: 0.80, BESens: 0.05, LSSens: 0.10, BrMPKI: 9.0,
+		MemFrac: 0.34, L1MissRate: 0.07, MLP: 5,
+		WSWays: 3.0, MissFloor: 0.10, MissCeil: 0.65, MissSteep: 1.4,
+		Activity: 0.92,
+		MaxQPS:   8000, QoSTargetMs: 15, QuerySigma: 0.60, SatUtil: 0.75,
+	},
+	{
+		Name: "silo", Class: LatencyCritical,
+		// In-memory OLTP: short transactions, modest demands everywhere
+		// ({2,2,4} cheapest QoS-meeting config in Fig. 1).
+		ILP: 1.9, FESens: 0.20, BESens: 0.05, LSSens: 0.55, BrMPKI: 2.0,
+		MemFrac: 0.40, L1MissRate: 0.11, MLP: 6,
+		WSWays: 3.0, MissFloor: 0.12, MissCeil: 0.70, MissSteep: 1.4,
+		Activity: 0.82,
+		MaxQPS:   24000, QoSTargetMs: 5, QuerySigma: 0.40, SatUtil: 0.75,
+	},
+}
+
+// SPEC returns fresh copies of the 28 batch profiles.
+func SPEC() []*Profile { return clone(specCatalog) }
+
+// TailBench returns fresh copies of the 5 latency-critical profiles.
+func TailBench() []*Profile { return clone(tailbenchCatalog) }
+
+// All returns the full catalog: SPEC followed by TailBench.
+func All() []*Profile { return append(SPEC(), TailBench()...) }
+
+func clone(ps []Profile) []*Profile {
+	out := make([]*Profile, len(ps))
+	for i := range ps {
+		p := ps[i]
+		out[i] = &p
+	}
+	return out
+}
+
+// ByName returns the catalog profile with the given name, or an error.
+func ByName(name string) (*Profile, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// SplitTrainTest randomly partitions the SPEC catalog into nTrain
+// "known" applications — characterised offline across all
+// configurations to seed the reconstruction matrices (§V) — and the
+// remaining test applications used to build the multiprogrammed mixes,
+// ensuring no overlap between training and testing sets (§VII-A).
+func SplitTrainTest(seed uint64, nTrain int) (train, test []*Profile) {
+	all := SPEC()
+	if nTrain < 0 || nTrain > len(all) {
+		panic(fmt.Sprintf("workload: nTrain %d out of range [0,%d]", nTrain, len(all)))
+	}
+	r := rng.New(seed)
+	r.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:nTrain], all[nTrain:]
+}
+
+// Mix builds a multiprogrammed batch mix of n applications drawn
+// uniformly (with replacement) from pool, mirroring the paper's
+// construction of 16-app SPEC mixes from the testing set. Instances of
+// the same benchmark get distinct names ("mcf#2") so matrices can carry
+// one row per running job.
+func Mix(seed uint64, pool []*Profile, n int) []*Profile {
+	if len(pool) == 0 {
+		panic("workload: Mix from empty pool")
+	}
+	r := rng.New(seed)
+	counts := make(map[string]int, n)
+	out := make([]*Profile, 0, n)
+	for i := 0; i < n; i++ {
+		p := *pool[r.Intn(len(pool))]
+		counts[p.Name]++
+		if c := counts[p.Name]; c > 1 {
+			p.Name = fmt.Sprintf("%s#%d", p.Name, c)
+		}
+		out = append(out, &p)
+	}
+	return out
+}
+
+// SyntheticLC generates n latency-critical profiles by jittering the
+// TailBench catalog. The tail-latency reconstruction matrix needs
+// "known" latency-critical rows characterised offline (§V); with only
+// five real services, these variants model the previously-seen
+// interactive applications a production deployment would have
+// accumulated.
+func SyntheticLC(seed uint64, n int) []*Profile {
+	r := rng.New(seed)
+	base := TailBench()
+	jitter := func(v, frac float64) float64 { return v * (1 + frac*(2*r.Float64()-1)) }
+	out := make([]*Profile, n)
+	for i := range out {
+		p := *base[r.Intn(len(base))]
+		p.Name = fmt.Sprintf("lc-variant-%d", i)
+		p.ILP = clampf(jitter(p.ILP, 0.2), 1.1, 5)
+		p.FESens = clampf(jitter(p.FESens, 0.25), 0.1, 0.9)
+		p.BESens = clampf(jitter(p.BESens, 0.25), 0.1, 0.9)
+		p.LSSens = clampf(jitter(p.LSSens, 0.25), 0.1, 0.9)
+		p.BrMPKI = clampf(jitter(p.BrMPKI, 0.3), 0.2, 15)
+		p.MemFrac = clampf(jitter(p.MemFrac, 0.15), 0.2, 0.55)
+		p.L1MissRate = clampf(jitter(p.L1MissRate, 0.3), 0.02, 0.35)
+		p.MLP = clampf(jitter(p.MLP, 0.2), 1.2, 8)
+		p.WSWays = clampf(jitter(p.WSWays, 0.3), 0.5, 10)
+		p.Activity = clampf(jitter(p.Activity, 0.15), 0.6, 1.3)
+		p.MaxQPS = clampf(jitter(p.MaxQPS, 0.25), 2000, 40000)
+		out[i] = &p
+	}
+	return out
+}
+
+func clampf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Synthetic generates n random batch profiles with characteristics
+// spanning the same ranges as the SPEC catalog. Used by property tests
+// and by users who want to stress the runtime with unseen behaviour.
+func Synthetic(seed uint64, n int) []*Profile {
+	r := rng.New(seed)
+	out := make([]*Profile, n)
+	for i := range out {
+		mFloor := 0.02 + 0.5*r.Float64()
+		out[i] = &Profile{
+			Name:       fmt.Sprintf("synthetic-%d", i),
+			Class:      Batch,
+			ILP:        1.2 + 3.8*r.Float64(),
+			FESens:     0.15 + 0.65*r.Float64(),
+			BESens:     0.15 + 0.65*r.Float64(),
+			LSSens:     0.15 + 0.65*r.Float64(),
+			BrMPKI:     12 * r.Float64(),
+			MemFrac:    0.24 + 0.2*r.Float64(),
+			L1MissRate: 0.02 + 0.3*r.Float64(),
+			MLP:        1.4 + 5*r.Float64(),
+			WSWays:     0.5 + 9*r.Float64(),
+			MissFloor:  mFloor,
+			MissCeil:   mFloor + (0.97-mFloor)*r.Float64(),
+			MissSteep:  1.2 + 1.2*r.Float64(),
+			Activity:   0.7 + 0.5*r.Float64(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogSizes(t *testing.T) {
+	// §VII-A: 28 SPEC CPU2006 benchmarks and 5 TailBench services.
+	if got := len(SPEC()); got != 28 {
+		t.Fatalf("SPEC catalog has %d entries, want 28", got)
+	}
+	if got := len(TailBench()); got != 5 {
+		t.Fatalf("TailBench catalog has %d entries, want 5", got)
+	}
+	if got := len(All()); got != 33 {
+		t.Fatalf("All catalog has %d entries, want 33", got)
+	}
+}
+
+func TestCatalogValidates(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("catalog profile invalid: %v", err)
+		}
+	}
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, p := range All() {
+		if seen[p.Name] {
+			t.Fatalf("duplicate catalog name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestPaperMaxQPS(t *testing.T) {
+	// §VII-A: Xapian 22k, Masstree 17k, ImgDNN 8k, Moses 8k, Silo 24k.
+	want := map[string]float64{
+		"xapian": 22000, "masstree": 17000, "imgdnn": 8000, "moses": 8000, "silo": 24000,
+	}
+	for _, p := range TailBench() {
+		if p.MaxQPS != want[p.Name] {
+			t.Errorf("%s MaxQPS = %v, want %v", p.Name, p.MaxQPS, want[p.Name])
+		}
+		if !p.IsLC() {
+			t.Errorf("%s should be latency-critical", p.Name)
+		}
+	}
+}
+
+func TestFig1SectionBottlenecks(t *testing.T) {
+	// Fig. 1 characterisation: Xapian is load/store-bound, Moses is
+	// front-end-bound. The profiles must encode that ordering.
+	xapian, err := ByName("xapian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xapian.LSSens <= xapian.FESens || xapian.LSSens <= xapian.BESens {
+		t.Error("xapian should be most sensitive to the load/store section")
+	}
+	moses, err := ByName("moses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moses.FESens <= moses.BESens || moses.FESens <= moses.LSSens {
+		t.Error("moses should be most sensitive to the front-end section")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("doom3"); err == nil {
+		t.Fatal("ByName on unknown app should error")
+	}
+}
+
+func TestMissRatioMonotone(t *testing.T) {
+	for _, p := range All() {
+		prev := p.MissRatio(0)
+		for w := 0.25; w <= 32; w += 0.25 {
+			cur := p.MissRatio(w)
+			if cur > prev+1e-12 {
+				t.Fatalf("%s: miss ratio increased from %v to %v at %v ways", p.Name, prev, cur, w)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestMissRatioBounds(t *testing.T) {
+	for _, p := range All() {
+		if got := p.MissRatio(0); got > p.MissCeil+1e-9 || got < p.MissFloor {
+			t.Errorf("%s: MissRatio(0) = %v outside [floor, ceil]", p.Name, got)
+		}
+		if got := p.MissRatio(1000); got < p.MissFloor-1e-9 {
+			t.Errorf("%s: MissRatio(inf) = %v below floor", p.Name, got)
+		}
+	}
+}
+
+func TestMissRatioSyntheticProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, w1, w2 uint8) bool {
+		p := Synthetic(seed, 1)[0]
+		if p.Validate() != nil {
+			return false
+		}
+		a, b := float64(w1%33), float64(w2%33)
+		if a > b {
+			a, b = b, a
+		}
+		// monotone non-increasing, and within [0,1]
+		ra, rb := p.MissRatio(a), p.MissRatio(b)
+		return rb <= ra+1e-12 && ra >= 0 && ra <= 1 && rb >= 0 && rb <= 1
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitTrainTest(t *testing.T) {
+	train, test := SplitTrainTest(1, 16)
+	if len(train) != 16 || len(test) != 12 {
+		t.Fatalf("split sizes %d/%d, want 16/12", len(train), len(test))
+	}
+	names := make(map[string]bool)
+	for _, p := range train {
+		names[p.Name] = true
+	}
+	for _, p := range test {
+		if names[p.Name] {
+			t.Fatalf("app %s in both train and test sets", p.Name)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a, _ := SplitTrainTest(7, 16)
+	b, _ := SplitTrainTest(7, 16)
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatal("SplitTrainTest is not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestMix(t *testing.T) {
+	_, test := SplitTrainTest(1, 16)
+	mix := Mix(42, test, 16)
+	if len(mix) != 16 {
+		t.Fatalf("mix size %d, want 16", len(mix))
+	}
+	seen := make(map[string]bool)
+	for _, p := range mix {
+		if seen[p.Name] {
+			t.Fatalf("duplicate job name %q in mix", p.Name)
+		}
+		seen[p.Name] = true
+		if err := p.Validate(); err != nil {
+			t.Fatalf("mix instance invalid: %v", err)
+		}
+	}
+}
+
+func TestMixInstanceNaming(t *testing.T) {
+	pool := SPEC()[:1] // force duplicates
+	mix := Mix(1, pool, 3)
+	if mix[0].Name == mix[1].Name || !strings.Contains(mix[1].Name, "#") {
+		t.Fatalf("duplicate instances not renamed: %v %v %v", mix[0].Name, mix[1].Name, mix[2].Name)
+	}
+}
+
+func TestSyntheticValidates(t *testing.T) {
+	for _, p := range Synthetic(99, 50) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("synthetic profile invalid: %v", err)
+		}
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	good := *SPEC()[0]
+	cases := []func(p *Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.ILP = 0 },
+		func(p *Profile) { p.FESens = 1.5 },
+		func(p *Profile) { p.BrMPKI = -1 },
+		func(p *Profile) { p.MemFrac = 0.9 },
+		func(p *Profile) { p.MLP = 0.5 },
+		func(p *Profile) { p.WSWays = 0 },
+		func(p *Profile) { p.MissFloor = 0.9; p.MissCeil = 0.1 },
+		func(p *Profile) { p.MissSteep = 0 },
+		func(p *Profile) { p.Activity = 0 },
+	}
+	for i, mutate := range cases {
+		p := good
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("case %d: Validate accepted a bad profile", i)
+		}
+	}
+	lc := *TailBench()[0]
+	lc.MaxQPS = 0
+	if lc.Validate() == nil {
+		t.Error("Validate accepted LC profile without MaxQPS")
+	}
+}
+
+func TestSPECReturnsCopies(t *testing.T) {
+	a := SPEC()
+	a[0].ILP = 99
+	b := SPEC()
+	if b[0].ILP == 99 {
+		t.Fatal("SPEC() exposes shared catalog state")
+	}
+}
+
+func TestSyntheticLCValidates(t *testing.T) {
+	for _, p := range SyntheticLC(7, 20) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("synthetic LC variant invalid: %v", err)
+		}
+		if !p.IsLC() {
+			t.Errorf("%s should be latency-critical", p.Name)
+		}
+	}
+}
+
+func TestSyntheticLCDiverse(t *testing.T) {
+	vs := SyntheticLC(11, 12)
+	qps := map[float64]bool{}
+	for _, p := range vs {
+		qps[p.MaxQPS] = true
+	}
+	if len(qps) < 6 {
+		t.Errorf("variants should carry diverse loads, got %d distinct MaxQPS", len(qps))
+	}
+}
+
+func TestSyntheticLCDeterministic(t *testing.T) {
+	a := SyntheticLC(3, 5)
+	b := SyntheticLC(3, 5)
+	for i := range a {
+		if a[i].ILP != b[i].ILP || a[i].MaxQPS != b[i].MaxQPS {
+			t.Fatal("SyntheticLC not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestValidateLCBranches(t *testing.T) {
+	lc := *TailBench()[0]
+	cases := []func(p *Profile){
+		func(p *Profile) { p.QoSTargetMs = 0 },
+		func(p *Profile) { p.QuerySigma = 0 },
+		func(p *Profile) { p.QuerySigma = 3 },
+		func(p *Profile) { p.SatUtil = 0 },
+		func(p *Profile) { p.SatUtil = 1 },
+		func(p *Profile) { p.L1MissRate = 0.9 },
+	}
+	for i, mutate := range cases {
+		p := lc
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("LC case %d: Validate accepted a bad profile", i)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Batch.String() != "batch" || LatencyCritical.String() != "latency-critical" {
+		t.Fatal("Class.String wrong")
+	}
+}
+
+func TestSplitTrainTestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range nTrain did not panic")
+		}
+	}()
+	SplitTrainTest(1, 99)
+}
+
+func TestMixEmptyPoolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty pool did not panic")
+		}
+	}()
+	Mix(1, nil, 4)
+}
+
+func TestMissRatioNegativeWaysClamped(t *testing.T) {
+	p := SPEC()[0]
+	if got, ceil := p.MissRatio(-3), p.MissRatio(0); got != ceil {
+		t.Fatalf("negative ways should clamp to zero: %v vs %v", got, ceil)
+	}
+}
