@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench chaos
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Regenerate the seeded resilience report (see EXPERIMENTS.md).
+chaos:
+	$(GO) run ./cmd/chaos -seed 1 -slices 30 -o BENCH_resilience.json

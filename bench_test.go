@@ -77,7 +77,7 @@ func BenchmarkFig5bRuntimeAccuracy(b *testing.B) {
 	s := benchSetup()
 	s.Services = []string{"xapian"}
 	for i := 0; i < b.N; i++ {
-		if res := experiments.Fig5bColocation(s); len(res) == 0 {
+		if res, err := experiments.Fig5bColocation(s); err != nil || len(res) == 0 {
 			b.Fatal("no accuracy results")
 		}
 	}
@@ -90,7 +90,10 @@ func BenchmarkFig5cPowerCapSweep(b *testing.B) {
 	s := benchSetup()
 	var advantage float64
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig5cPowerCapSweep(s)
+		rows, err := experiments.Fig5cPowerCapSweep(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		var cs, cg float64
 		for _, r := range rows {
 			if r.Cap == 0.55 {
@@ -110,7 +113,7 @@ func BenchmarkFig5cPowerCapSweep(b *testing.B) {
 // BenchmarkFig7TimesliceTrace regenerates the per-timeslice trace.
 func BenchmarkFig7TimesliceTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if rows := experiments.Fig7InstrPerSlice(uint64(i + 2)); len(rows) == 0 {
+		if rows, err := experiments.Fig7InstrPerSlice(uint64(i + 2)); err != nil || len(rows) == 0 {
 			b.Fatal("no rows")
 		}
 	}
@@ -121,7 +124,11 @@ func BenchmarkFig8aDiurnalLoad(b *testing.B) {
 	var viol int
 	for i := 0; i < b.N; i++ {
 		viol = 0
-		for _, r := range experiments.Dynamics(experiments.ScenarioVaryingLoad, uint64(i+3), 16) {
+		recs, err := experiments.Dynamics(experiments.ScenarioVaryingLoad, uint64(i+3), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
 			if r.Violated {
 				viol++
 			}
@@ -133,7 +140,7 @@ func BenchmarkFig8aDiurnalLoad(b *testing.B) {
 // BenchmarkFig8bBudgetStep regenerates the varying-budget dynamics.
 func BenchmarkFig8bBudgetStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if recs := experiments.Dynamics(experiments.ScenarioVaryingBudget, uint64(i+4), 16); len(recs) == 0 {
+		if recs, err := experiments.Dynamics(experiments.ScenarioVaryingBudget, uint64(i+4), 16); err != nil || len(recs) == 0 {
 			b.Fatal("no records")
 		}
 	}
@@ -145,7 +152,11 @@ func BenchmarkFig8cCoreRelocation(b *testing.B) {
 	peak := 0
 	for i := 0; i < b.N; i++ {
 		peak = 0
-		for _, r := range experiments.Dynamics(experiments.ScenarioRelocation, uint64(i+5), 20) {
+		recs, err := experiments.Dynamics(experiments.ScenarioRelocation, uint64(i+5), 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
 			if r.LCCores > peak {
 				peak = r.LCCores
 			}
@@ -190,7 +201,11 @@ func BenchmarkFig10bDDSvsGA(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		var d, g float64
-		for _, r := range experiments.Fig10bDDSvsGA(s) {
+		rows, err := experiments.Fig10bDDSvsGA(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
 			if r.Searcher == "dds" {
 				d = r.GmeanBIPS
 			} else {

@@ -27,14 +27,22 @@ func main() {
 	switch *part {
 	case "guards":
 		fmt.Println("Runtime guard ablation (0.9 load, 70% cap):")
-		rows := experiments.Ablation(experiments.Setup{
+		rows, err := experiments.Ablation(experiments.Setup{
 			Seed: *seed, MixesPerService: *mixes, LoadFrac: 0.9,
 			Services: []string{"xapian", "silo"},
 		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablation: %v\n", err)
+			os.Exit(1)
+		}
 		experiments.WriteAblation(os.Stdout, rows)
 	case "proportionality":
 		fmt.Println("Energy proportionality — server power vs offered load (xapian, LC only):")
-		rows := experiments.EnergyProportionality("xapian", *seed, nil)
+		rows, err := experiments.EnergyProportionality("xapian", *seed, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablation: %v\n", err)
+			os.Exit(1)
+		}
 		experiments.WriteProportionality(os.Stdout, rows)
 	default:
 		fmt.Fprintf(os.Stderr, "ablation: unknown part %q\n", *part)

@@ -29,9 +29,13 @@ func main() {
 		experiments.WriteAccuracy(os.Stdout, experiments.Fig5aIsolation(*seed))
 	case "colocation":
 		fmt.Println("Fig. 5b — reconstruction accuracy at runtime (colocated):")
-		res := experiments.Fig5bColocation(experiments.Setup{
+		res, err := experiments.Fig5bColocation(experiments.Setup{
 			Seed: *seed, MixesPerService: *mixes, Slices: *slices,
 		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "accuracy: %v\n", err)
+			os.Exit(1)
+		}
 		experiments.WriteAccuracy(os.Stdout, res)
 	case "trainsweep":
 		fmt.Println("§VIII-A2 — training-set-size sensitivity:")

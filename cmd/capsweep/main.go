@@ -36,10 +36,19 @@ func main() {
 
 	if *searchers {
 		fmt.Println("Fig. 10b — gmean batch throughput, SGD+DDS vs SGD+GA:")
-		experiments.WriteSearcherRows(os.Stdout, experiments.Fig10bDDSvsGA(s))
+		rows, err := experiments.Fig10bDDSvsGA(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capsweep: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.WriteSearcherRows(os.Stdout, rows)
 		return
 	}
 	fmt.Println("Fig. 5c — relative instructions vs no-gating across power caps:")
-	rows := experiments.Fig5cPowerCapSweep(s)
+	rows, err := experiments.Fig5cPowerCapSweep(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "capsweep: %v\n", err)
+		os.Exit(1)
+	}
 	experiments.WriteCapSweep(os.Stdout, rows, experiments.ComparisonPolicies)
 }

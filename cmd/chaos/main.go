@@ -1,0 +1,200 @@
+// Command chaos is the resilience sweep: it subjects CuttleSys (both
+// the hardened runtime and the trusting DisableResilience control) and
+// the core-gating baselines to a fixed battery of fault scenarios —
+// core fail-stop, core fail-slow, profiling corruption, garbage
+// steady-state telemetry, a flash crowd and a step budget drop — and
+// emits a JSON resilience report: QoS-violation recovery time,
+// fault-attributed violations, degraded-mode occupancy and the usual
+// throughput/latency aggregates per (scenario, policy).
+//
+// Every run is deterministic: a fixed -seed produces a byte-identical
+// report. Each (scenario, policy) cell gets a fresh machine and a
+// fresh fault schedule, so cells are independent.
+//
+// Usage:
+//
+//	chaos [-service xapian] [-mix 3] [-slices 30] [-load 0.8]
+//	      [-cap 0.7] [-seed 1] [-o report.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"cuttlesys"
+)
+
+// scenario is one named fault battery. Windows are expressed in
+// seconds; the default 30-slice run spans 3 s, with faults active over
+// [0.5, 1.5) so every run sees a clean lead-in and a recovery tail.
+type scenario struct {
+	name   string
+	events []cuttlesys.FaultEvent
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{name: "fault-free"},
+		{name: "core-failstop", events: []cuttlesys.FaultEvent{
+			{Kind: cuttlesys.CoreFailStop, Start: 0.5, End: 1.5, Cores: 8, BatchCores: 2},
+		}},
+		{name: "core-failslow", events: []cuttlesys.FaultEvent{
+			{Kind: cuttlesys.CoreFailSlow, Start: 0.5, End: 1.5, Factor: 0.6},
+		}},
+		{name: "profile-corrupt", events: []cuttlesys.FaultEvent{
+			{Kind: cuttlesys.ProfileCorrupt, Start: 0.5, End: 1.5, Prob: 0.8},
+		}},
+		{name: "garbage-telemetry", events: []cuttlesys.FaultEvent{
+			{Kind: cuttlesys.TelemetryGarbage, Start: 0.5, End: 1.5, Prob: 0.6},
+		}},
+		{name: "flash-crowd", events: []cuttlesys.FaultEvent{
+			{Kind: cuttlesys.FlashCrowd, Start: 0.5, End: 1.5, Factor: 1.6},
+		}},
+		{name: "budget-drop", events: []cuttlesys.FaultEvent{
+			{Kind: cuttlesys.BudgetDrop, Start: 0.5, End: 1.5, Factor: 0.55},
+		}},
+	}
+}
+
+var policies = []string{"cuttlesys", "cuttlesys-unhardened", "core-gating", "core-gating+wp"}
+
+// PolicyReport is one (scenario, policy) cell of the resilience
+// report. Field order is the JSON order; floats are rounded so the
+// report is byte-stable across platforms.
+type PolicyReport struct {
+	Policy                    string  `json:"policy"`
+	QoSViolations             int     `json:"qosViolations"`
+	FaultAttributedViolations int     `json:"faultAttributedViolations"`
+	RecoverySlices            int     `json:"recoverySlices"`
+	DegradedOccupancy         float64 `json:"degradedOccupancy"`
+	ProfileRetries            int     `json:"profileRetries"`
+	WorstP99Ratio             float64 `json:"worstP99Ratio"`
+	TotalInstrB               float64 `json:"totalInstrB"`
+	MeanGmeanBIPS             float64 `json:"meanGmeanBIPS"`
+}
+
+// ScenarioReport groups the policies under one fault battery.
+type ScenarioReport struct {
+	Scenario string         `json:"scenario"`
+	Policies []PolicyReport `json:"policies"`
+}
+
+// Report is the full resilience sweep.
+type Report struct {
+	Service string           `json:"service"`
+	MixSeed uint64           `json:"mixSeed"`
+	Slices  int              `json:"slices"`
+	Load    float64          `json:"load"`
+	Cap     float64          `json:"cap"`
+	Seed    uint64           `json:"seed"`
+	Results []ScenarioReport `json:"results"`
+}
+
+func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }
+
+func main() {
+	service := flag.String("service", "xapian", "latency-critical service (TailBench name)")
+	mixSeed := flag.Uint64("mix", 3, "batch-mix seed")
+	slices := flag.Int("slices", 30, "timeslices per run")
+	load := flag.Float64("load", 0.8, "LC offered load fraction")
+	capFrac := flag.Float64("cap", 0.7, "power cap fraction of reference max power")
+	seed := flag.Uint64("seed", 1, "scheduler and fault-schedule seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := sweep(*service, *mixSeed, *slices, *load, *capFrac, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func sweep(service string, mixSeed uint64, slices int, load, capFrac float64, seed uint64) (*Report, error) {
+	rep := &Report{
+		Service: service, MixSeed: mixSeed, Slices: slices,
+		Load: load, Cap: capFrac, Seed: seed,
+	}
+	for _, sc := range scenarios() {
+		sr := ScenarioReport{Scenario: sc.name}
+		for _, policy := range policies {
+			pr, err := runCell(policy, sc, service, mixSeed, slices, load, capFrac, seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", sc.name, policy, err)
+			}
+			sr.Policies = append(sr.Policies, pr)
+		}
+		rep.Results = append(rep.Results, sr)
+	}
+	return rep, nil
+}
+
+func runCell(policy string, sc scenario, service string, mixSeed uint64, slices int, load, capFrac float64, seed uint64) (PolicyReport, error) {
+	lc, err := cuttlesys.AppByName(service)
+	if err != nil {
+		return PolicyReport{}, err
+	}
+	_, pool := cuttlesys.SplitTrainTest(1, 16)
+	reconf := policy == "cuttlesys" || policy == "cuttlesys-unhardened"
+	m := cuttlesys.NewMachine(cuttlesys.MachineSpec{
+		Seed: mixSeed, LC: lc,
+		Batch:          cuttlesys.Mix(mixSeed, pool, 16),
+		Reconfigurable: reconf,
+	})
+
+	var sched cuttlesys.Scheduler
+	switch policy {
+	case "cuttlesys":
+		sched = cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: seed})
+	case "cuttlesys-unhardened":
+		sched = cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: seed, DisableResilience: true})
+	case "core-gating":
+		sched = cuttlesys.NewCoreGating(m, cuttlesys.DescendingPower, false, seed)
+	case "core-gating+wp":
+		sched = cuttlesys.NewCoreGating(m, cuttlesys.DescendingPower, true, seed)
+	default:
+		return PolicyReport{}, fmt.Errorf("unknown policy %q", policy)
+	}
+
+	inj, err := cuttlesys.NewFaultSchedule(seed, sc.events...)
+	if err != nil {
+		return PolicyReport{}, err
+	}
+	res, err := cuttlesys.RunFaulted(m, sched, slices,
+		cuttlesys.ConstantLoad(load), cuttlesys.ConstantBudget(capFrac), inj)
+	if err != nil {
+		return PolicyReport{}, err
+	}
+
+	retries := 0
+	for _, s := range res.Slices {
+		retries += s.ProfileRetries
+	}
+	return PolicyReport{
+		Policy:                    policy,
+		QoSViolations:             res.QoSViolations(),
+		FaultAttributedViolations: res.FaultAttributedViolations(),
+		RecoverySlices:            res.RecoverySlices(),
+		DegradedOccupancy:         round4(res.DegradedOccupancy()),
+		ProfileRetries:            retries,
+		WorstP99Ratio:             round4(res.WorstP99Ratio()),
+		TotalInstrB:               round4(res.TotalInstrB()),
+		MeanGmeanBIPS:             round4(res.MeanGmeanBIPS()),
+	}, nil
+}

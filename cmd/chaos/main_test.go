@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestSweepDeterministic is the report's reproducibility contract: a
+// fixed seed produces a byte-identical JSON report, run to run.
+func TestSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	marshal := func() []byte {
+		rep, err := sweep("xapian", 3, 12, 0.8, 0.7, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a, b := marshal(), marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different reports")
+	}
+
+	var rep Report
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(scenarios()) {
+		t.Fatalf("%d scenarios in report, want %d", len(rep.Results), len(scenarios()))
+	}
+	for _, sc := range rep.Results {
+		if len(sc.Policies) != len(policies) {
+			t.Fatalf("%s: %d policies, want %d", sc.Scenario, len(sc.Policies), len(policies))
+		}
+	}
+
+	// The fault-free scenario must not distinguish the hardened runtime
+	// from the trusting control: with no faults the guards never fire.
+	ff := rep.Results[0]
+	if ff.Scenario != "fault-free" {
+		t.Fatalf("first scenario %q, want fault-free", ff.Scenario)
+	}
+	hard, soft := ff.Policies[0], ff.Policies[1]
+	soft.Policy = hard.Policy
+	if hard != soft {
+		t.Fatalf("fault-free hardened and unhardened differ:\n%+v\n%+v", hard, soft)
+	}
+}

@@ -65,8 +65,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	res := cuttlesys.Run(m, sched, *slices,
+	res, err := cuttlesys.Run(m, sched, *slices,
 		cuttlesys.ConstantLoad(*load), cuttlesys.ConstantBudget(*capFrac))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cuttlesim: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("%-5s %10s %6s %5s %9s %8s %8s %9s %6s\n",
 		"t", "p99(ms)", "QoS", "viol", "gmBIPS", "P(W)", "budget", "lcCfg", "lcCrs")

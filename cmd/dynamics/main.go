@@ -37,5 +37,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dynamics: unknown scenario %q\n", *scenario)
 		os.Exit(1)
 	}
-	experiments.WriteDynamics(os.Stdout, experiments.Dynamics(sc, *seed, *slices))
+	recs, err := experiments.Dynamics(sc, *seed, *slices)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynamics: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.WriteDynamics(os.Stdout, recs)
 }

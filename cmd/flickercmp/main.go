@@ -26,9 +26,13 @@ func main() {
 	switch *part {
 	case "qos":
 		fmt.Println("§VIII-E — Flicker vs CuttleSys tail-latency behaviour:")
-		rows := experiments.FlickerQoSComparison(experiments.Setup{
+		rows, err := experiments.FlickerQoSComparison(experiments.Setup{
 			Seed: *seed, MixesPerService: *mixes, LoadFrac: *load,
 		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flickercmp: %v\n", err)
+			os.Exit(1)
+		}
 		experiments.WriteFlickerQoS(os.Stdout, rows)
 	case "inference":
 		fmt.Println("Fig. 9 — RBF (3 samples) vs SGD (2 samples) prediction error:")

@@ -20,5 +20,10 @@ func main() {
 	flag.Parse()
 
 	fmt.Println("Fig. 7 — instructions per timeslice (billions), 70% cap:")
-	experiments.WriteFig7(os.Stdout, experiments.Fig7InstrPerSlice(*seed))
+	rows, err := experiments.Fig7InstrPerSlice(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "timeslice: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.WriteFig7(os.Stdout, rows)
 }

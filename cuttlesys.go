@@ -24,7 +24,10 @@
 //		Seed: 1, LC: lc, Batch: cuttlesys.Mix(1, pool, 16), Reconfigurable: true,
 //	})
 //	rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: 1})
-//	res := cuttlesys.Run(m, rt, 10, cuttlesys.ConstantLoad(0.8), cuttlesys.ConstantBudget(0.7))
+//	res, err := cuttlesys.Run(m, rt, 10, cuttlesys.ConstantLoad(0.8), cuttlesys.ConstantBudget(0.7))
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Println(res)
 package cuttlesys
 
@@ -32,6 +35,7 @@ import (
 	"cuttlesys/internal/baseline"
 	"cuttlesys/internal/config"
 	"cuttlesys/internal/core"
+	"cuttlesys/internal/fault"
 	"cuttlesys/internal/harness"
 	"cuttlesys/internal/sim"
 	"cuttlesys/internal/workload"
@@ -144,9 +148,43 @@ func NewFlicker(m *Machine, modeB bool, seed uint64) Scheduler {
 func NewDVFS(m *Machine, seed uint64) Scheduler { return baseline.NewDVFS(m, seed) }
 
 // Run executes an experiment: slices timeslices of scheduler s on
-// machine m under the given load and power-budget patterns.
-func Run(m *Machine, s Scheduler, slices int, load LoadPattern, budget BudgetPattern) *Result {
+// machine m under the given load and power-budget patterns. It returns
+// an error for invalid setups (non-positive slice count, missing load
+// patterns, bad profile phases) instead of panicking.
+func Run(m *Machine, s Scheduler, slices int, load LoadPattern, budget BudgetPattern) (*Result, error) {
 	return harness.Run(m, s, slices, load, budget)
+}
+
+// FaultInjector perturbs a run with hardware, telemetry, and
+// environmental faults; construct one with NewFaultSchedule.
+type FaultInjector = harness.FaultInjector
+
+// FaultEvent is one timed fault in a schedule.
+type FaultEvent = fault.Event
+
+// FaultKind names a failure mode.
+type FaultKind = fault.Kind
+
+// Failure modes for FaultEvent.Kind.
+const (
+	CoreFailStop     = fault.CoreFailStop
+	CoreFailSlow     = fault.CoreFailSlow
+	ProfileCorrupt   = fault.ProfileCorrupt
+	TelemetryGarbage = fault.TelemetryGarbage
+	FlashCrowd       = fault.FlashCrowd
+	BudgetDrop       = fault.BudgetDrop
+)
+
+// NewFaultSchedule builds a deterministic fault schedule; the same
+// seed and events always reproduce the same perturbations.
+func NewFaultSchedule(seed uint64, events ...FaultEvent) (*fault.Schedule, error) {
+	return fault.NewSchedule(seed, events...)
+}
+
+// RunFaulted is Run under a fault injector: a nil injector (or an
+// empty schedule) reproduces Run exactly.
+func RunFaulted(m *Machine, s Scheduler, slices int, load LoadPattern, budget BudgetPattern, inj FaultInjector) (*Result, error) {
+	return harness.RunFaulted(m, s, slices, load, budget, inj)
 }
 
 // MultiScheduler manages machines hosting several latency-critical
@@ -159,8 +197,13 @@ type LCAssign = sim.LCAssign
 
 // RunMulti executes a multi-service experiment with one load pattern
 // per service, primary first.
-func RunMulti(m *Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern) *Result {
+func RunMulti(m *Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern) (*Result, error) {
 	return harness.RunMulti(m, s, slices, loads, budget)
+}
+
+// RunFaultedMulti is RunMulti under a fault injector.
+func RunFaultedMulti(m *Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern, inj FaultInjector) (*Result, error) {
+	return harness.RunFaultedMulti(m, s, slices, loads, budget, inj)
 }
 
 // ConstantLoad offers a fixed fraction of the service's max QPS.

@@ -45,8 +45,11 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			m := mkMachine(c.reconf)
-			res := cuttlesys.Run(m, c.mk(m), 3,
+			res, err := cuttlesys.Run(m, c.mk(m), 3,
 				cuttlesys.ConstantLoad(0.7), cuttlesys.ConstantBudget(0.8))
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(res.Slices) != 3 {
 				t.Fatalf("%s: %d slices", c.name, len(res.Slices))
 			}
@@ -111,9 +114,12 @@ func TestMultiServiceFacade(t *testing.T) {
 		Batch: cuttlesys.Mix(33, pool, 16), Reconfigurable: true,
 	})
 	rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: 33})
-	res := cuttlesys.RunMulti(m, rt, 4,
+	res, err := cuttlesys.RunMulti(m, rt, 4,
 		[]cuttlesys.LoadPattern{cuttlesys.ConstantLoad(0.4), cuttlesys.ConstantLoad(0.3)},
 		cuttlesys.ConstantBudget(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Slices) != 4 || res.TotalInstrB() <= 0 {
 		t.Fatal("multi-service facade run failed")
 	}

@@ -53,8 +53,11 @@ func main() {
 		Seed: 5, LC: vectordb, Batch: batch, Reconfigurable: true,
 	})
 	rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: 5})
-	res := cuttlesys.Run(m, rt, 20,
+	res, err := cuttlesys.Run(m, rt, 20,
 		cuttlesys.ConstantLoad(0.7), cuttlesys.ConstantBudget(0.75))
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("CuttleSys managing a never-before-seen service:")
 	for _, s := range res.Slices {

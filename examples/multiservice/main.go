@@ -44,7 +44,10 @@ func main() {
 		cuttlesys.ConstantLoad(0.45),
 		cuttlesys.StepLoad(0.2, 0.42, 0.4*horizon, 0.8*horizon),
 	}
-	res := cuttlesys.RunMulti(m, rt, slices, loads, cuttlesys.ConstantBudget(0.8))
+	res, err := cuttlesys.RunMulti(m, rt, slices, loads, cuttlesys.ConstantBudget(0.8))
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("time   xapian p99 (QoS 8ms)      silo p99 (QoS 5ms)        batch")
 	for _, s := range res.Slices {

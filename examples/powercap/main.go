@@ -29,7 +29,10 @@ func main() {
 	const slices = 30
 	horizon := float64(slices) * cuttlesys.SliceDur
 	budget := cuttlesys.StepBudget(0.9, 0.6, 0.3*horizon, 0.7*horizon)
-	res := cuttlesys.Run(m, rt, slices, cuttlesys.ConstantLoad(0.8), budget)
+	res, err := cuttlesys.Run(m, rt, slices, cuttlesys.ConstantLoad(0.8), budget)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("time   budget(W)  power(W)  over?  p99(ms)  gmean-BIPS")
 	for _, s := range res.Slices {

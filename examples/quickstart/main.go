@@ -33,8 +33,11 @@ func main() {
 	rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: 42})
 
 	// Two seconds at 80 % load under a 70 % power cap.
-	res := cuttlesys.Run(m, rt, 20,
+	res, err := cuttlesys.Run(m, rt, 20,
 		cuttlesys.ConstantLoad(0.8), cuttlesys.ConstantBudget(0.7))
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("slice  p99(ms)  QoS(ms)  gmean-BIPS  power(W)  budget(W)  LC-config")
 	for _, s := range res.Slices {

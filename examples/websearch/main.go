@@ -30,7 +30,10 @@ func main() {
 	// 20 % -> 100 % -> 20 % while the chip holds a 70 % power cap.
 	const slices = 32
 	day := cuttlesys.DiurnalLoad(0.2, 1.0, float64(slices)*cuttlesys.SliceDur)
-	res := cuttlesys.Run(m, rt, slices, day, cuttlesys.ConstantBudget(0.7))
+	res, err := cuttlesys.Run(m, rt, slices, day, cuttlesys.ConstantBudget(0.7))
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("time   load  service-p99     batch-throughput          LC config")
 	for _, s := range res.Slices {

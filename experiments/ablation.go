@@ -45,7 +45,7 @@ func ablationVariants() []struct {
 // near-saturation scenario (where the guards matter most) and reports
 // QoS and throughput — the contribution analysis for the design
 // choices DESIGN.md documents beyond the paper's text.
-func Ablation(s Setup) []AblationRow {
+func Ablation(s Setup) ([]AblationRow, error) {
 	s = s.withDefaults()
 	var rows []AblationRow
 	for _, v := range ablationVariants() {
@@ -58,8 +58,11 @@ func Ablation(s Setup) []AblationRow {
 				params := core.Params{Seed: s.Seed + seed, TrainSeed: s.TrainSeed}
 				v.mod(&params)
 				rt := core.New(m, params)
-				res := harness.Run(m, rt, s.Slices,
+				res, err := harness.Run(m, rt, s.Slices,
 					harness.ConstantLoad(s.LoadFrac), harness.ConstantBudget(0.7))
+				if err != nil {
+					return nil, err
+				}
 				row.QoSViolations += res.QoSViolations()
 				if r := res.WorstP99Ratio(); r > row.WorstP99Ratio {
 					row.WorstP99Ratio = r
@@ -72,7 +75,7 @@ func Ablation(s Setup) []AblationRow {
 		row.MeanGmeanBIPS = gmean / float64(n)
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // WriteAblation renders the ablation table.
@@ -99,7 +102,7 @@ type ProportionalityRow struct {
 // idle-ish), while a fixed-core machine's power barely moves. The
 // machine here runs the LC service alone (no batch), uncapped, so the
 // measured power is pure load response.
-func EnergyProportionality(service string, seed uint64, loads []float64) []ProportionalityRow {
+func EnergyProportionality(service string, seed uint64, loads []float64) ([]ProportionalityRow, error) {
 	if len(loads) == 0 {
 		loads = []float64{0.1, 0.25, 0.5, 0.75, 1.0}
 	}
@@ -107,8 +110,11 @@ func EnergyProportionality(service string, seed uint64, loads []float64) []Propo
 	for _, load := range loads {
 		// Fixed design: all cores at the widest configuration.
 		mFixed := lcOnlyMachine(service, seed, false)
-		fixedRes := harness.Run(mFixed, baseline.NewNoGating(mFixed), 6,
+		fixedRes, err := harness.Run(mFixed, baseline.NewNoGating(mFixed), 6,
 			harness.ConstantLoad(load), harness.ConstantBudget(10))
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, ProportionalityRow{
 			Design: "fixed", LoadFrac: load,
 			PowerW: meanPower(fixedRes),
@@ -117,14 +123,17 @@ func EnergyProportionality(service string, seed uint64, loads []float64) []Propo
 		// Reconfigurable design under CuttleSys.
 		mRec := lcOnlyMachine(service, seed, true)
 		rt := core.New(mRec, core.Params{Seed: seed, TrainSeed: 1})
-		recRes := harness.Run(mRec, rt, 10,
+		recRes, err := harness.Run(mRec, rt, 10,
 			harness.ConstantLoad(load), harness.ConstantBudget(10))
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, ProportionalityRow{
 			Design: "cuttlesys", LoadFrac: load,
 			PowerW: meanPower(recRes),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // lcOnlyMachine builds a 32-core machine whose only tenant is the LC

@@ -6,10 +6,13 @@ import (
 )
 
 func TestAblationGuards(t *testing.T) {
-	rows := Ablation(Setup{
+	rows, err := Ablation(Setup{
 		Seed: 1, Services: []string{"xapian"}, MixesPerService: 1,
 		Slices: 8, LoadFrac: 0.9,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	byName := map[string]AblationRow{}
 	for _, r := range rows {
 		byName[r.Variant] = r
@@ -36,7 +39,10 @@ func TestAblationGuards(t *testing.T) {
 }
 
 func TestEnergyProportionality(t *testing.T) {
-	rows := EnergyProportionality("xapian", 1, []float64{0.1, 1.0})
+	rows, err := EnergyProportionality("xapian", 1, []float64{0.1, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	fixed := DynamicRange(rows, "fixed")
 	cuttle := DynamicRange(rows, "cuttlesys")
 	// §I: reconfigurable cores reduce idle power — the CuttleSys curve
@@ -70,7 +76,10 @@ func TestDVFSBaselineInHarness(t *testing.T) {
 	// The maxBIPS DVFS extension must slot into the same comparison
 	// machinery as the paper's policies.
 	s := Setup{Seed: 2, Services: []string{"silo"}, MixesPerService: 1, Slices: 6}.withDefaults()
-	res := runOne(PolicyDVFS, "silo", 40, s, 0.75)
+	res, err := runOne(PolicyDVFS, "silo", 40, s, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.TotalInstrB() <= 0 {
 		t.Fatal("DVFS executed nothing")
 	}

@@ -148,7 +148,7 @@ func lcVariantRows(k int) [][]float64 {
 // profiling, and every applied configuration's prediction is compared
 // against the measured steady-state value. Interference and phase
 // noise widen the tails relative to Fig. 5a.
-func Fig5bColocation(s Setup) []AccuracyResult {
+func Fig5bColocation(s Setup) ([]AccuracyResult, error) {
 	s = s.withDefaults()
 	errs := map[string][]float64{}
 	for _, svc := range s.Services {
@@ -156,7 +156,9 @@ func Fig5bColocation(s Setup) []AccuracyResult {
 			seed := s.Seed + uint64(mix)*31 + 7
 			m := machineFor(svc, seed, s.TrainSeed, true)
 			rt := core.New(m, core.Params{Seed: seed, TrainSeed: s.TrainSeed, TrackAccuracy: true})
-			harness.Run(m, rt, s.Slices, harness.ConstantLoad(s.LoadFrac), harness.ConstantBudget(0.7))
+			if _, err := harness.Run(m, rt, s.Slices, harness.ConstantLoad(s.LoadFrac), harness.ConstantBudget(0.7)); err != nil {
+				return nil, err
+			}
 			for metric, es := range rt.AccuracyErrors() {
 				errs[metric] = append(errs[metric], es...)
 			}
@@ -166,7 +168,7 @@ func Fig5bColocation(s Setup) []AccuracyResult {
 	for _, metric := range sortedKeys(errs) {
 		out = append(out, accResult(metric, "sgd-runtime", errs[metric]))
 	}
-	return out
+	return out, nil
 }
 
 // TrainSweepRow is one point of the §VIII-A2 training-set-size study.

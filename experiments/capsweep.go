@@ -29,7 +29,7 @@ type CapSweepRow struct {
 // over gating+wp and 1.55× over the asymmetric oracle at stringent
 // caps, while never violating QoS; slightly below the fixed designs at
 // relaxed caps due to the reconfiguration overheads.
-func Fig5cPowerCapSweep(s Setup) []CapSweepRow {
+func Fig5cPowerCapSweep(s Setup) ([]CapSweepRow, error) {
 	s = s.withDefaults()
 
 	// The reference: no gating, every core at the widest configuration,
@@ -38,7 +38,10 @@ func Fig5cPowerCapSweep(s Setup) []CapSweepRow {
 	for _, svc := range s.Services {
 		for mix := 0; mix < s.MixesPerService; mix++ {
 			seed := s.Seed + uint64(mix)*31 + 7
-			res := runOne(PolicyNoGating, svc, seed, s, 10) // effectively uncapped
+			res, err := runOne(PolicyNoGating, svc, seed, s, 10) // effectively uncapped
+			if err != nil {
+				return nil, err
+			}
 			refInstr += res.TotalInstrB()
 		}
 	}
@@ -52,7 +55,10 @@ func Fig5cPowerCapSweep(s Setup) []CapSweepRow {
 			for _, svc := range s.Services {
 				for mix := 0; mix < s.MixesPerService; mix++ {
 					seed := s.Seed + uint64(mix)*31 + 7
-					res := runOne(policy, svc, seed, s, capFrac)
+					res, err := runOne(policy, svc, seed, s, capFrac)
+					if err != nil {
+						return nil, err
+					}
 					total += res.TotalInstrB()
 					viol += res.QoSViolations()
 					if r := res.WorstP99Ratio(); r > worst {
@@ -68,7 +74,7 @@ func Fig5cPowerCapSweep(s Setup) []CapSweepRow {
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // WriteCapSweep renders a cap sweep as the Fig. 5c table.
@@ -109,7 +115,7 @@ type SearcherRow struct {
 // throughput of SGD+DDS versus SGD+GA across power caps. The paper
 // reports DDS ahead by up to 19 %, with the gap largest at
 // intermediate caps and smallest at 50 %.
-func Fig10bDDSvsGA(s Setup) []SearcherRow {
+func Fig10bDDSvsGA(s Setup) ([]SearcherRow, error) {
 	s = s.withDefaults()
 	var rows []SearcherRow
 	for _, capFrac := range s.Caps {
@@ -124,8 +130,11 @@ func Fig10bDDSvsGA(s Setup) []SearcherRow {
 						params.Searcher = core.SearchGA
 					}
 					rt := core.New(m, params)
-					res := harness.Run(m, rt, s.Slices,
+					res, err := harness.Run(m, rt, s.Slices,
 						harness.ConstantLoad(s.LoadFrac), harness.ConstantBudget(capFrac))
+					if err != nil {
+						return nil, err
+					}
 					sum += res.MeanGmeanBIPS()
 					n++
 				}
@@ -133,7 +142,7 @@ func Fig10bDDSvsGA(s Setup) []SearcherRow {
 			rows = append(rows, SearcherRow{Cap: capFrac, Searcher: searcher, GmeanBIPS: sum / float64(n)})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // WriteSearcherRows renders Fig. 10b with the DDS/GA ratio.

@@ -20,16 +20,19 @@ type Fig7Row struct {
 // CuttleSys at a 70 % cap on one Xapian+SPEC mix. Gating shows
 // whole-core losses, the asymmetric design big/little steps, CuttleSys
 // fine-grained adjustment.
-func Fig7InstrPerSlice(seed uint64) []Fig7Row {
+func Fig7InstrPerSlice(seed uint64) ([]Fig7Row, error) {
 	s := Setup{Seed: seed}.withDefaults()
 	var rows []Fig7Row
 	for _, policy := range []string{PolicyCoreGating, PolicyAsymmOracle, PolicyCuttleSys} {
-		res := runOne(policy, "xapian", seed+7, s, 0.7)
+		res, err := runOne(policy, "xapian", seed+7, s, 0.7)
+		if err != nil {
+			return nil, err
+		}
 		for _, rec := range res.Slices {
 			rows = append(rows, Fig7Row{Policy: policy, T: rec.T, InstrB: rec.TotalInstrB})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // WriteFig7 renders the per-slice comparison.
@@ -61,7 +64,7 @@ const (
 // 16-job SPEC mix for `slices` timeslices, returning the per-slice
 // records (load, tail latency vs QoS, batch throughput, power vs
 // budget, LC configuration and core count).
-func Dynamics(scenario DynamicsScenario, seed uint64, slices int) []harness.SliceRecord {
+func Dynamics(scenario DynamicsScenario, seed uint64, slices int) ([]harness.SliceRecord, error) {
 	if slices == 0 {
 		slices = 20
 	}
@@ -82,13 +85,16 @@ func Dynamics(scenario DynamicsScenario, seed uint64, slices int) []harness.Slic
 		load = harness.StepLoad(0.2, 1.45, 0.25*horizon, 0.65*horizon)
 		budget = harness.ConstantBudget(0.9)
 	default:
-		panic(fmt.Sprintf("experiments: unknown scenario %q", scenario))
+		return nil, fmt.Errorf("experiments: unknown scenario %q", scenario)
 	}
 
 	m := machineFor("xapian", seed+7, s.TrainSeed, true)
 	rt := schedulerFor(PolicyCuttleSys, m, s.Seed+seed)
-	res := harness.Run(m, rt, s.Slices, load, budget)
-	return res.Slices
+	res, err := harness.Run(m, rt, s.Slices, load, budget)
+	if err != nil {
+		return nil, err
+	}
+	return res.Slices, nil
 }
 
 // WriteDynamics renders a §VIII-D time series.

@@ -135,7 +135,7 @@ func schedulerFor(policy string, m *sim.Machine, seed uint64) harness.Scheduler 
 }
 
 // runOne executes one policy on one (service, mix, cap) cell.
-func runOne(policy, service string, mixSeed uint64, s Setup, capFrac float64) *harness.Result {
+func runOne(policy, service string, mixSeed uint64, s Setup, capFrac float64) (*harness.Result, error) {
 	m := machineFor(service, mixSeed, s.TrainSeed, reconfigurableFor(policy))
 	sched := schedulerFor(policy, m, s.Seed+mixSeed)
 	return harness.Run(m, sched, s.Slices,

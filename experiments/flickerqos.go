@@ -24,7 +24,7 @@ type FlickerQoSRow struct {
 // while CuttleSys meets QoS throughout; our substrate's narrower
 // reconfiguration dynamic range shrinks the magnitudes but preserves
 // the ordering (see EXPERIMENTS.md).
-func FlickerQoSComparison(s Setup) []FlickerQoSRow {
+func FlickerQoSComparison(s Setup) ([]FlickerQoSRow, error) {
 	s = s.withDefaults()
 	policies := []string{PolicyFlickerA, PolicyFlickerB, PolicyCuttleSys}
 
@@ -32,7 +32,11 @@ func FlickerQoSComparison(s Setup) []FlickerQoSRow {
 	for _, svc := range s.Services {
 		for mix := 0; mix < s.MixesPerService; mix++ {
 			seed := s.Seed + uint64(mix)*31 + 7
-			refInstr += runOne(PolicyNoGating, svc, seed, s, 10).TotalInstrB()
+			ref, err := runOne(PolicyNoGating, svc, seed, s, 10)
+			if err != nil {
+				return nil, err
+			}
+			refInstr += ref.TotalInstrB()
 		}
 	}
 
@@ -43,7 +47,10 @@ func FlickerQoSComparison(s Setup) []FlickerQoSRow {
 		for _, svc := range s.Services {
 			for mix := 0; mix < s.MixesPerService; mix++ {
 				seed := s.Seed + uint64(mix)*31 + 7
-				res := runOne(policy, svc, seed, s, 0.7)
+				res, err := runOne(policy, svc, seed, s, 0.7)
+				if err != nil {
+					return nil, err
+				}
 				total += res.TotalInstrB()
 				row.QoSViolations += res.QoSViolations()
 				if r := res.WorstP99Ratio(); r > row.WorstP99Ratio {
@@ -59,7 +66,7 @@ func FlickerQoSComparison(s Setup) []FlickerQoSRow {
 		row.RelInstr = total / refInstr
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // WriteFlickerQoS renders the comparison.

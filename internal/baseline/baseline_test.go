@@ -9,6 +9,15 @@ import (
 	"cuttlesys/internal/workload"
 )
 
+func mustRun(t *testing.T, m *sim.Machine, s harness.Scheduler, slices int, load harness.LoadPattern, budget harness.BudgetPattern) *harness.Result {
+	t.Helper()
+	res, err := harness.Run(m, s, slices, load, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func machine(t *testing.T, seed uint64, reconfigurable bool) *sim.Machine {
 	t.Helper()
 	lc, err := workload.ByName("xapian")
@@ -26,7 +35,7 @@ func machine(t *testing.T, seed uint64, reconfigurable bool) *sim.Machine {
 
 func TestNoGating(t *testing.T) {
 	m := machine(t, 1, true)
-	res := harness.Run(m, NewNoGating(m), 5, harness.ConstantLoad(0.8), harness.ConstantBudget(0.9))
+	res := mustRun(t, m, NewNoGating(m), 5, harness.ConstantLoad(0.8), harness.ConstantBudget(0.9))
 	if res.TotalInstrB() <= 0 {
 		t.Fatal("no work executed")
 	}
@@ -43,7 +52,7 @@ func TestCoreGatingMeetsBudget(t *testing.T) {
 	for _, wp := range []bool{false, true} {
 		m := machine(t, 2, false)
 		g := NewCoreGating(m, DescendingPower, wp, 2)
-		res := harness.Run(m, g, 8, harness.ConstantLoad(0.8), harness.ConstantBudget(0.6))
+		res := mustRun(t, m, g, 8, harness.ConstantLoad(0.8), harness.ConstantBudget(0.6))
 		if n := res.BudgetViolations(0.05); n > 1 {
 			t.Errorf("wp=%v: %d slices exceeded the 60%% budget", wp, n)
 		}
@@ -56,10 +65,10 @@ func TestCoreGatingMeetsBudget(t *testing.T) {
 func TestCoreGatingGatesUnderTightCaps(t *testing.T) {
 	m := machine(t, 3, false)
 	g := NewCoreGating(m, DescendingPower, false, 3)
-	resTight := harness.Run(m, g, 5, harness.ConstantLoad(0.8), harness.ConstantBudget(0.5))
+	resTight := mustRun(t, m, g, 5, harness.ConstantLoad(0.8), harness.ConstantBudget(0.5))
 	m2 := machine(t, 3, false)
 	g2 := NewCoreGating(m2, DescendingPower, false, 3)
-	resLoose := harness.Run(m2, g2, 5, harness.ConstantLoad(0.8), harness.ConstantBudget(0.9))
+	resLoose := mustRun(t, m2, g2, 5, harness.ConstantLoad(0.8), harness.ConstantBudget(0.9))
 	if resTight.TotalInstrB() >= resLoose.TotalInstrB() {
 		t.Fatalf("tighter cap should cost throughput: %.1f vs %.1f",
 			resTight.TotalInstrB(), resLoose.TotalInstrB())
@@ -76,7 +85,7 @@ func TestWayPartitioningHelpsGating(t *testing.T) {
 		for _, seed := range []uint64{3, 4, 12} {
 			m := machine(t, seed, false)
 			g := NewCoreGating(m, DescendingPower, wp, seed)
-			total += harness.Run(m, g, 8, harness.ConstantLoad(0.8), harness.ConstantBudget(0.7)).TotalInstrB()
+			total += mustRun(t, m, g, 8, harness.ConstantLoad(0.8), harness.ConstantBudget(0.7)).TotalInstrB()
 		}
 		return total
 	}
@@ -95,7 +104,7 @@ func TestGatingPolicies(t *testing.T) {
 	for _, pol := range []GatingPolicy{DescendingPower, AscendingPower, AscendingBIPSPerWatt, AscendingBIPS} {
 		m := machine(t, 5, false)
 		g := NewCoreGating(m, pol, false, 5)
-		totals[pol] = harness.Run(m, g, 6, harness.ConstantLoad(0.8), harness.ConstantBudget(0.6)).TotalInstrB()
+		totals[pol] = mustRun(t, m, g, 6, harness.ConstantLoad(0.8), harness.ConstantBudget(0.6)).TotalInstrB()
 		if totals[pol] <= 0 {
 			t.Fatalf("policy %v executed nothing", pol)
 		}
@@ -111,7 +120,7 @@ func TestGatingPolicies(t *testing.T) {
 func TestAsymmetricOracle(t *testing.T) {
 	m := machine(t, 6, false)
 	a := NewAsymmetric(m, true)
-	res := harness.Run(m, a, 8, harness.ConstantLoad(0.8), harness.ConstantBudget(0.7))
+	res := mustRun(t, m, a, 8, harness.ConstantLoad(0.8), harness.ConstantBudget(0.7))
 	if n := res.BudgetViolations(0.08); n > 1 {
 		t.Errorf("oracle exceeded budget on %d slices", n)
 	}
@@ -135,7 +144,7 @@ func TestOracleBeats5050AtModerateCaps(t *testing.T) {
 	// and moderate caps, converging at stringent ones.
 	run := func(oracle bool, cap float64) float64 {
 		m := machine(t, 7, false)
-		return harness.Run(m, NewAsymmetric(m, oracle), 8,
+		return mustRun(t, m, NewAsymmetric(m, oracle), 8,
 			harness.ConstantLoad(0.8), harness.ConstantBudget(cap)).TotalInstrB()
 	}
 	if o, f := run(true, 0.8), run(false, 0.8); o < f*0.98 {
@@ -168,13 +177,13 @@ func TestFlickerDamagesTailLatency(t *testing.T) {
 	load, cap := harness.ConstantLoad(0.9), harness.ConstantBudget(0.8)
 
 	mRef := machine(t, seed, true)
-	ref := harness.Run(mRef, NewNoGating(mRef), 8, load, cap)
+	ref := mustRun(t, mRef, NewNoGating(mRef), 8, load, cap)
 
 	mA := machine(t, seed, true)
-	a := harness.Run(mA, NewFlicker(mA, false, seed), 8, load, cap)
+	a := mustRun(t, mA, NewFlicker(mA, false, seed), 8, load, cap)
 
 	mB := machine(t, seed, true)
-	b := harness.Run(mB, NewFlicker(mB, true, seed), 8, load, cap)
+	b := mustRun(t, mB, NewFlicker(mB, true, seed), 8, load, cap)
 
 	refWorst, aWorst, bWorst := worstP99Ms(ref), worstP99Ms(a), worstP99Ms(b)
 	if aWorst < 1.8*refWorst {
@@ -211,7 +220,7 @@ func TestUCPPartitionRespectsBudget(t *testing.T) {
 func TestDVFSMeetsBudget(t *testing.T) {
 	m := machine(t, 13, false)
 	d := NewDVFS(m, 13)
-	res := harness.Run(m, d, 8, harness.ConstantLoad(0.8), harness.ConstantBudget(0.75))
+	res := mustRun(t, m, d, 8, harness.ConstantLoad(0.8), harness.ConstantBudget(0.75))
 	if res.TotalInstrB() <= 0 {
 		t.Fatal("DVFS executed nothing")
 	}
@@ -225,10 +234,10 @@ func TestDVFSDownclocksUnderPressure(t *testing.T) {
 	// gate: more work than core gating at the same budget.
 	capFrac := 0.75
 	m1 := machine(t, 14, false)
-	dv := harness.Run(m1, NewDVFS(m1, 14), 8,
+	dv := mustRun(t, m1, NewDVFS(m1, 14), 8,
 		harness.ConstantLoad(0.8), harness.ConstantBudget(capFrac)).TotalInstrB()
 	m2 := machine(t, 14, false)
-	cg := harness.Run(m2, NewCoreGating(m2, DescendingPower, false, 14), 8,
+	cg := mustRun(t, m2, NewCoreGating(m2, DescendingPower, false, 14), 8,
 		harness.ConstantLoad(0.8), harness.ConstantBudget(capFrac)).TotalInstrB()
 	if dv <= cg {
 		t.Errorf("DVFS (%.1f) should beat whole-core gating (%.1f) at a moderate cap", dv, cg)
@@ -242,7 +251,7 @@ func TestDVFSVoltageFloorLimitsSavings(t *testing.T) {
 	// DVFS baseline gates cores.
 	m := machine(t, 15, false)
 	d := NewDVFS(m, 15)
-	res := harness.Run(m, d, 5, harness.ConstantLoad(0.8), harness.ConstantBudget(0.5))
+	res := mustRun(t, m, d, 5, harness.ConstantLoad(0.8), harness.ConstantBudget(0.5))
 	if res.TotalInstrB() <= 0 {
 		t.Fatal("DVFS executed nothing at the tight cap")
 	}

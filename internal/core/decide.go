@@ -24,8 +24,18 @@ func (rt *Runtime) Decide(profile []sim.PhaseResult, qps, budgetW float64) (sim.
 // qps carries one offered load per service, primary first.
 func (rt *Runtime) DecideMulti(profile []sim.PhaseResult, qps []float64, budgetW float64) (sim.Allocation, float64) {
 	rt.slice++
+	if math.IsNaN(budgetW) || budgetW < 0 {
+		// A garbage budget reading fails safe: a zero budget gates the
+		// batch side down to its floor instead of propagating NaN
+		// through the gating arithmetic.
+		budgetW = 0
+	}
 	rt.observeProfiles(profile)
 	thr, pwr, lat, svc := rt.reconstructAll()
+
+	if !rt.p.DisableResilience && (rt.degraded || !rt.predictionsValid(thr, pwr, lat, svc)) {
+		return rt.decideFallback(thr, pwr, lat), rt.p.OverheadSec
+	}
 
 	// --- latency-critical services: QoS scan per service (§VI-A) ---
 	lcRes := make([]config.Resource, len(rt.svcs))
@@ -73,26 +83,148 @@ func (rt *Runtime) DecideMulti(profile []sim.PhaseResult, qps []float64, budgetW
 	}
 
 	alloc := rt.buildAllocation(best, lcRes)
+	rt.applyQuarantine(&alloc)
 	rt.repairCache(&alloc)
 	rt.enforceBudget(&alloc, pwr, budgetW)
 
-	if rt.p.TrackAccuracy {
-		rt.predThr = make([]float64, nBatch)
-		rt.predPwr = make([]float64, nBatch)
-		for i, b := range alloc.Batch {
-			if b.Gated {
-				rt.predThr[i], rt.predPwr[i] = 0, 0
-				continue
-			}
-			col := config.Resource{Core: b.Core, Cache: b.Cache}.Index()
-			rt.predThr[i] = thr.At(rt.batchRow(i), col)
-			rt.predPwr[i] = pwr.At(rt.batchRow(i), col)
+	// Record the predictions behind the applied allocation: the
+	// divergence detector compares them against the slice's measured
+	// metrics (and TrackAccuracy logs the errors for Fig. 5b).
+	rt.predThr = make([]float64, nBatch)
+	rt.predPwr = make([]float64, nBatch)
+	for i, b := range alloc.Batch {
+		if b.Gated {
+			rt.predThr[i], rt.predPwr[i] = 0, 0
+			continue
 		}
+		col := config.Resource{Core: b.Core, Cache: b.Cache}.Index()
+		rt.predThr[i] = thr.At(rt.batchRow(i), col)
+		rt.predPwr[i] = pwr.At(rt.batchRow(i), col)
 	}
 
 	cp := alloc
 	rt.lastAlloc = &cp
 	return alloc, rt.p.OverheadSec
+}
+
+// predictionsValid rejects reconstructions carrying non-finite values
+// in any row the decision reads — one NaN cell would otherwise steer
+// the QoS scan and the search arbitrarily.
+func (rt *Runtime) predictionsValid(thr, pwr, lat, svc *sgd.Prediction) bool {
+	ok := func(p *sgd.Prediction, row int) bool {
+		for _, v := range p.Row(row) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range rt.batch {
+		if !ok(thr, rt.batchRow(i)) || !ok(pwr, rt.batchRow(i)) {
+			return false
+		}
+	}
+	for k := range rt.svcs {
+		if !ok(pwr, rt.lcPowerRow(k)) || !ok(lat, rt.latRow(k)) || !ok(svc, rt.latRow(k)) {
+			return false
+		}
+	}
+	return true
+}
+
+// decideFallback applies the safe-fallback allocation: every service
+// at its strongest point (widest cores, four ways) and every batch
+// job at the narrowest configuration with one way — the QoS-safest,
+// lowest-power corner of the space, chosen without consulting the
+// distrusted reconstructions. The power budget is not enforced here:
+// the all-narrowest batch floor is the same floor enforceBudget
+// converges to, and gating on predictions that just failed validation
+// would be arbitrary.
+func (rt *Runtime) decideFallback(thr, pwr, lat *sgd.Prediction) sim.Allocation {
+	alloc := sim.Allocation{Batch: make([]sim.BatchAssign, len(rt.batch))}
+	for k, sv := range rt.svcs {
+		if k == 0 {
+			alloc.LCCores = sv.cores
+			alloc.LCCore = config.Widest
+			alloc.LCCache = config.FourWays
+			continue
+		}
+		alloc.ExtraLC = append(alloc.ExtraLC, sim.LCAssign{
+			Cores: sv.cores, Core: config.Widest, Cache: config.FourWays,
+		})
+	}
+	for i := range alloc.Batch {
+		alloc.Batch[i] = sim.BatchAssign{Core: config.Narrowest, Cache: config.OneWay}
+	}
+	rt.applyQuarantine(&alloc)
+	rt.repairCache(&alloc)
+
+	// Keep predicting so the divergence detector can observe the model
+	// re-converging and lift degraded mode.
+	rt.predThr = make([]float64, len(rt.batch))
+	rt.predPwr = make([]float64, len(rt.batch))
+	for i, b := range alloc.Batch {
+		if b.Gated {
+			continue
+		}
+		col := config.Resource{Core: b.Core, Cache: b.Cache}.Index()
+		rt.predThr[i] = thr.At(rt.batchRow(i), col)
+		rt.predPwr[i] = pwr.At(rt.batchRow(i), col)
+	}
+	for k, sv := range rt.svcs {
+		var res config.Resource
+		switch {
+		case k == 0:
+			res = config.Resource{Core: alloc.LCCore, Cache: alloc.LCCache}
+		case k-1 < len(alloc.ExtraLC):
+			res = config.Resource{Core: alloc.ExtraLC[k-1].Core, Cache: alloc.ExtraLC[k-1].Cache}
+		default:
+			continue
+		}
+		sv.predPwr = pwr.At(rt.lcPowerRow(k), res.Index())
+		if lat != nil {
+			sv.predLat = lat.At(rt.latRow(k), res.Index())
+		}
+	}
+
+	cp := alloc
+	rt.lastAlloc = &cp
+	return alloc
+}
+
+// applyQuarantine compensates for cores the machine reported failed:
+// the primary service is granted one replacement core per failed LC
+// core (the machine drops dead servers from its queue, so without
+// compensation the service runs short-handed until relocate crawls
+// back one core per slice), and one batch job is gated per failed
+// batch core so the multiplexing factor and the power accounting
+// reflect the live core count instead of the nominal one.
+func (rt *Runtime) applyQuarantine(alloc *sim.Allocation) {
+	if rt.p.DisableResilience {
+		return
+	}
+	if rt.failedLC > 0 && alloc.LCCores > 0 {
+		total := alloc.LCCores
+		for _, x := range alloc.ExtraLC {
+			total += x.Cores
+		}
+		add := rt.failedLC
+		if room := rt.nCores - 1 - total; add > room {
+			add = room
+		}
+		if add > 0 {
+			alloc.LCCores += add
+		}
+	}
+	if rt.failedBatch > 0 {
+		q := rt.failedBatch
+		for i := len(alloc.Batch) - 1; i >= 0 && q > 0; i-- {
+			if !alloc.Batch[i].Gated {
+				alloc.Batch[i].Gated = true
+				q--
+			}
+		}
+	}
 }
 
 // loadAt returns the offered load for service k, zero when absent.
@@ -112,20 +244,35 @@ func (rt *Runtime) observeProfiles(profile []sim.PhaseResult) {
 	}
 	a, b := profile[0], profile[1]
 	for i := range rt.batch {
+		if i >= len(a.BatchBIPS) || i >= len(b.BatchBIPS) ||
+			i >= len(a.BatchPowerW) || i >= len(b.BatchPowerW) {
+			continue
+		}
 		wide, narrow := a, b
 		if i%2 != 0 { // odd jobs ran narrowest in window A
 			wide, narrow = b, a
 		}
 		row := rt.batchRow(i)
-		rt.thrM.Observe(row, rt.widestIdx, sim.Measure(rt.r, wide.BatchBIPS[i], rt.p.ProfileNoise))
-		rt.pwrM.Observe(row, rt.widestIdx, sim.Measure(rt.r, wide.BatchPowerW[i], rt.p.ProfileNoise))
-		rt.thrM.Observe(row, rt.narrowestIdx, sim.Measure(rt.r, narrow.BatchBIPS[i], rt.p.ProfileNoise))
-		rt.pwrM.Observe(row, rt.narrowestIdx, sim.Measure(rt.r, narrow.BatchPowerW[i], rt.p.ProfileNoise))
+		if v := wide.BatchBIPS[i]; rt.validSample(v) {
+			rt.thrM.Observe(row, rt.widestIdx, sim.Measure(rt.r, v, rt.p.ProfileNoise))
+		}
+		if v := wide.BatchPowerW[i]; rt.validSample(v) {
+			rt.pwrM.Observe(row, rt.widestIdx, sim.Measure(rt.r, v, rt.p.ProfileNoise))
+		}
+		if v := narrow.BatchBIPS[i]; rt.validSample(v) {
+			rt.thrM.Observe(row, rt.narrowestIdx, sim.Measure(rt.r, v, rt.p.ProfileNoise))
+		}
+		if v := narrow.BatchPowerW[i]; rt.validSample(v) {
+			rt.pwrM.Observe(row, rt.narrowestIdx, sim.Measure(rt.r, v, rt.p.ProfileNoise))
+		}
 	}
 	for k := range rt.svcs {
-		wideP, narrowP := servicePower(a, k), servicePower(b, k)
-		rt.pwrM.Observe(rt.lcPowerRow(k), rt.lcWidestIdx, sim.Measure(rt.r, wideP, rt.p.ProfileNoise))
-		rt.pwrM.Observe(rt.lcPowerRow(k), rt.lcNarrowIdx, sim.Measure(rt.r, narrowP, rt.p.ProfileNoise))
+		if v := servicePower(a, k); rt.validSample(v) {
+			rt.pwrM.Observe(rt.lcPowerRow(k), rt.lcWidestIdx, sim.Measure(rt.r, v, rt.p.ProfileNoise))
+		}
+		if v := servicePower(b, k); rt.validSample(v) {
+			rt.pwrM.Observe(rt.lcPowerRow(k), rt.lcNarrowIdx, sim.Measure(rt.r, v, rt.p.ProfileNoise))
+		}
 	}
 }
 

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/fault"
+	"cuttlesys/internal/harness"
+	"cuttlesys/internal/sim"
+)
+
+func checkAllocFinite(t *testing.T, m *sim.Machine, alloc sim.Allocation) {
+	t.Helper()
+	if err := alloc.Validate(len(m.Batch()), m.LC() != nil, m.NCores()); err != nil {
+		t.Fatalf("invalid allocation: %v", err)
+	}
+}
+
+// TestDegenerateInputsDoNotPanic drives DecideMulti with the broken
+// inputs a faulty environment can produce: empty or truncated
+// profiles, short qps slices, and zero/negative/NaN budgets. Every
+// case must yield a valid allocation, not a panic or NaN.
+func TestDegenerateInputsDoNotPanic(t *testing.T) {
+	m := testMachine(t, "xapian", 3)
+	rt := New(m, Params{Seed: 3})
+
+	cases := []struct {
+		name    string
+		profile []sim.PhaseResult
+		qps     []float64
+		budgetW float64
+	}{
+		{"empty profile", nil, []float64{5000}, 200},
+		{"single profile window", []sim.PhaseResult{{}}, []float64{5000}, 200},
+		{"truncated profile arrays", []sim.PhaseResult{
+			{BatchBIPS: []float64{1}, BatchPowerW: []float64{2}},
+			{BatchBIPS: []float64{1}, BatchPowerW: []float64{2}},
+		}, []float64{5000}, 200},
+		{"empty qps", nil, nil, 200},
+		{"zero budget", nil, []float64{5000}, 0},
+		{"negative budget", nil, []float64{5000}, -50},
+		{"NaN budget", nil, []float64{5000}, math.NaN()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			alloc, overhead := rt.DecideMulti(tc.profile, tc.qps, tc.budgetW)
+			if overhead <= 0 {
+				t.Fatal("non-positive overhead")
+			}
+			checkAllocFinite(t, m, alloc)
+		})
+	}
+	// loadAt itself on short slices.
+	if loadAt(nil, 0) != 0 || loadAt([]float64{7}, 3) != 0 || loadAt([]float64{7}, 0) != 7 {
+		t.Fatal("loadAt wrong on short qps slices")
+	}
+}
+
+// TestGarbageTelemetryRejected feeds NaN/negative steady telemetry and
+// profiling samples to the hardened runtime and checks none of it
+// reaches the matrices (decisions stay valid), while ValidateProfile
+// flags the corruption for the harness retry loop.
+func TestGarbageTelemetryRejected(t *testing.T) {
+	m := testMachine(t, "xapian", 4)
+	rt := New(m, Params{Seed: 4})
+
+	// Prime with one clean slice so lastAlloc exists.
+	res := mustRun(t, m, rt, 1, harness.ConstantLoad(0.7), harness.ConstantBudget(0.8))
+	_ = res
+
+	garbage := sim.PhaseResult{
+		Dur:          0.097,
+		BatchBIPS:    make([]float64, 16),
+		BatchPowerW:  make([]float64, 16),
+		LCCorePowerW: math.NaN(),
+		Sojourns:     []float64{math.NaN(), -0.5, 0.004},
+	}
+	for i := range garbage.BatchBIPS {
+		garbage.BatchBIPS[i] = math.NaN()
+		garbage.BatchPowerW[i] = -3
+	}
+	if err := rt.ValidateProfile([]sim.PhaseResult{garbage}); err == nil {
+		t.Fatal("ValidateProfile accepted NaN telemetry")
+	}
+	rt.EndSliceMulti(garbage, []float64{5000})
+	alloc, _ := rt.DecideMulti([]sim.PhaseResult{garbage, garbage}, []float64{5000}, 200)
+	checkAllocFinite(t, m, alloc)
+
+	// The unhardened control accepts the same garbage.
+	rtU := New(m, Params{Seed: 4, DisableResilience: true})
+	if err := rtU.ValidateProfile([]sim.PhaseResult{garbage}); err != nil {
+		t.Fatalf("unhardened runtime validates profiles: %v", err)
+	}
+}
+
+// TestQuarantineCompensatesFailedCores checks the fail-stop response:
+// after a steady slice reports failed cores, the next decision grants
+// the service replacement cores and gates one batch job per failed
+// batch core.
+func TestQuarantineCompensatesFailedCores(t *testing.T) {
+	m := testMachine(t, "xapian", 5)
+	rt := New(m, Params{Seed: 5})
+	mustRun(t, m, rt, 2, harness.ConstantLoad(0.7), harness.ConstantBudget(0.8))
+
+	before := rt.lastAlloc.LCCores
+	steady := *rt.lastAlloc
+	pr := sim.PhaseResult{
+		Dur:         0.097,
+		BatchBIPS:   make([]float64, 16),
+		BatchPowerW: make([]float64, 16),
+		FailedLC:    3,
+		FailedBatch: 2,
+	}
+	for i := range pr.BatchBIPS {
+		pr.BatchBIPS[i] = 1
+		pr.BatchPowerW[i] = 3
+	}
+	_ = steady
+	rt.EndSliceMulti(pr, []float64{5000})
+	alloc, _ := rt.DecideMulti(nil, []float64{5000}, 250)
+	checkAllocFinite(t, m, alloc)
+	if alloc.LCCores < before+3 {
+		t.Fatalf("no LC compensation: %d cores before, %d after 3 failures", before, alloc.LCCores)
+	}
+	gated := 0
+	for _, b := range alloc.Batch {
+		if b.Gated {
+			gated++
+		}
+	}
+	if gated < 2 {
+		t.Fatalf("only %d batch jobs gated after 2 failed batch cores", gated)
+	}
+
+	// Unhardened control: no compensation from the failure report alone.
+	rtU := New(m, Params{Seed: 5, DisableResilience: true})
+	mustRun(t, m, rtU, 2, harness.ConstantLoad(0.7), harness.ConstantBudget(0.8))
+	beforeU := rtU.lastAlloc.LCCores
+	rtU.EndSliceMulti(pr, []float64{5000})
+	allocU, _ := rtU.DecideMulti(nil, []float64{5000}, 250)
+	if allocU.LCCores > beforeU {
+		t.Fatalf("unhardened runtime compensated cores: %d -> %d", beforeU, allocU.LCCores)
+	}
+}
+
+// TestDivergenceTripsAndClears drives the detector directly: sustained
+// mispredictions trip degraded mode, agreement clears it, and the
+// fallback decision is the safe allocation.
+func TestDivergenceTripsAndClears(t *testing.T) {
+	m := testMachine(t, "xapian", 6)
+	rt := New(m, Params{Seed: 6})
+	mustRun(t, m, rt, 1, harness.ConstantLoad(0.7), harness.ConstantBudget(0.8))
+
+	diverged := sim.PhaseResult{
+		Dur:         0.097,
+		BatchBIPS:   make([]float64, 16),
+		BatchPowerW: make([]float64, 16),
+	}
+	for i := range diverged.BatchBIPS {
+		diverged.BatchBIPS[i] = 1e-6 // wildly below any prediction
+		diverged.BatchPowerW[i] = 3
+	}
+	for i := 0; i < rt.p.DivergenceSlices; i++ {
+		if rt.Degraded() {
+			t.Fatalf("degraded after only %d divergent slices", i)
+		}
+		rt.EndSliceMulti(diverged, []float64{5000})
+		alloc, _ := rt.DecideMulti(nil, []float64{5000}, 250)
+		checkAllocFinite(t, m, alloc)
+	}
+	if !rt.Degraded() {
+		t.Fatalf("not degraded after %d divergent slices", rt.p.DivergenceSlices)
+	}
+	// The fallback allocation: batch all-narrowest, LC at the strongest
+	// point.
+	alloc, _ := rt.DecideMulti(nil, []float64{5000}, 250)
+	for i, b := range alloc.Batch {
+		if b.Gated {
+			continue
+		}
+		if b.Core != config.Narrowest || b.Cache != config.OneWay {
+			t.Fatalf("fallback batch job %d at %v/%v", i, b.Core, b.Cache)
+		}
+	}
+
+	// A slice matching its predictions clears the streak.
+	matched := sim.PhaseResult{
+		Dur:         0.097,
+		BatchBIPS:   make([]float64, 16),
+		BatchPowerW: make([]float64, 16),
+	}
+	mux := rt.lastAlloc.MultiplexFactor(rt.nCores)
+	for i := range matched.BatchBIPS {
+		matched.BatchBIPS[i] = rt.predThr[i] * mux
+		matched.BatchPowerW[i] = rt.predPwr[i]
+	}
+	rt.EndSliceMulti(matched, []float64{5000})
+	if rt.Degraded() {
+		t.Fatal("degraded mode survived a converged slice")
+	}
+}
+
+// TestHardenedRecoversFasterUnderFailStop is the headline resilience
+// property: under an identical core fail-stop schedule the hardened
+// runtime's QoS-violation recovery time is strictly shorter than the
+// trusting (DisableResilience) control's.
+func TestHardenedRecoversFasterUnderFailStop(t *testing.T) {
+	run := func(disable bool) *harness.Result {
+		m := testMachine(t, "xapian", 9)
+		rt := New(m, Params{Seed: 9, DisableResilience: disable})
+		inj := fault.MustSchedule(9,
+			fault.Event{Kind: fault.CoreFailStop, Start: 0.5, End: 1.5, Cores: 10})
+		res, err := harness.RunFaulted(m, rt, 30,
+			harness.ConstantLoad(0.85), harness.ConstantBudget(0.8), inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	hard := run(false)
+	soft := run(true)
+	hr, sr := hard.RecoverySlices(), soft.RecoverySlices()
+	t.Logf("recovery: hardened=%d unhardened=%d slices", hr, sr)
+	t.Logf("fault-attributed violations: hardened=%d unhardened=%d",
+		hard.FaultAttributedViolations(), soft.FaultAttributedViolations())
+	if sr == 0 {
+		t.Fatal("fail-stop caused no violations in the control; fault too weak to measure recovery")
+	}
+	if hr >= sr {
+		t.Fatalf("hardened recovery %d slices, not better than unhardened %d", hr, sr)
+	}
+}

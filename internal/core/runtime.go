@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"cuttlesys/internal/config"
@@ -103,6 +104,22 @@ type Params struct {
 	// knee. Default 1.2.
 	ProbeMargin float64
 
+	// Resilience guards (graceful degradation under faults).
+	//
+	// DivergenceTol is the mean relative error between the predictions
+	// behind the applied allocation and the measured steady-state
+	// metrics above which a slice counts as divergent. Default 0.6.
+	DivergenceTol float64
+	// DivergenceSlices is the number of consecutive divergent slices
+	// that trips degraded mode: the runtime abandons the reconstructed
+	// surfaces and applies the safe-fallback allocation until a slice
+	// agrees with its predictions again. Default 3.
+	DivergenceSlices int
+	// DisableResilience turns off telemetry validation, the divergence
+	// detector, failed-core quarantine and the safe fallback — the
+	// trusting runtime used as the chaos-sweep control.
+	DisableResilience bool
+
 	// Ablation switches: each disables one of the runtime's guards so
 	// its contribution can be measured (cmd/ablation). All default off.
 	//
@@ -172,6 +189,12 @@ func (p Params) withDefaults() Params {
 	if p.DDS.Workers == 0 {
 		p.DDS.Workers = 8
 	}
+	if p.DivergenceTol == 0 {
+		p.DivergenceTol = 0.6
+	}
+	if p.DivergenceSlices == 0 {
+		p.DivergenceSlices = 3
+	}
 	return p
 }
 
@@ -230,11 +253,21 @@ type Runtime struct {
 	// allocation (it holds its ways during the 1 ms windows), so its
 	// power observations land in the four-way columns.
 	lcWidestIdx, lcNarrowIdx int
+
+	// Resilience state: the divergence streak and the degraded-mode
+	// latch it feeds, plus the failed-core counts reported by the last
+	// steady-state measurement (quarantine input).
+	divergeStreak int
+	degraded      bool
+	failedLC      int
+	failedBatch   int
 }
 
 var (
-	_ harness.Scheduler      = (*Runtime)(nil)
-	_ harness.MultiScheduler = (*Runtime)(nil)
+	_ harness.Scheduler        = (*Runtime)(nil)
+	_ harness.MultiScheduler   = (*Runtime)(nil)
+	_ harness.ProfileValidator = (*Runtime)(nil)
+	_ harness.DegradedReporter = (*Runtime)(nil)
 )
 
 // New builds a runtime for the machine's job set. The offline training
@@ -404,8 +437,16 @@ func (rt *Runtime) EndSliceMulti(steady sim.PhaseResult, qps []float64) {
 	if rt.p.TrackAccuracy && rt.accErrs == nil {
 		rt.accErrs = map[string][]float64{}
 	}
+	// A slice that ran with failed cores measured the failure, not the
+	// configuration: quarantine its telemetry from the matrices (the
+	// failed-core counts themselves feed the next decision's
+	// compensation instead).
+	faulted := !rt.p.DisableResilience && (steady.FailedLC > 0 || steady.FailedBatch > 0)
+	if !rt.p.DisableResilience {
+		rt.failedLC, rt.failedBatch = steady.FailedLC, steady.FailedBatch
+	}
 	for i, b := range alloc.Batch {
-		if b.Gated || mux == 0 {
+		if b.Gated || mux == 0 || i >= len(steady.BatchBIPS) || i >= len(steady.BatchPowerW) {
 			continue
 		}
 		col := config.Resource{Core: b.Core, Cache: b.Cache}.Index()
@@ -415,8 +456,12 @@ func (rt *Runtime) EndSliceMulti(steady sim.PhaseResult, qps []float64) {
 			rt.accErrs["power"] = append(rt.accErrs["power"],
 				stats.RelErrPct(rt.predPwr[i], steady.BatchPowerW[i]))
 		}
-		rt.thrM.Observe(rt.batchRow(i), col, sim.Measure(rt.r, steady.BatchBIPS[i]/mux, rt.p.SteadyNoise))
-		rt.pwrM.Observe(rt.batchRow(i), col, sim.Measure(rt.r, steady.BatchPowerW[i], rt.p.SteadyNoise))
+		if !faulted && rt.validSample(steady.BatchBIPS[i]) {
+			rt.thrM.Observe(rt.batchRow(i), col, sim.Measure(rt.r, steady.BatchBIPS[i]/mux, rt.p.SteadyNoise))
+		}
+		if !faulted && rt.validSample(steady.BatchPowerW[i]) {
+			rt.pwrM.Observe(rt.batchRow(i), col, sim.Measure(rt.r, steady.BatchPowerW[i], rt.p.SteadyNoise))
+		}
 	}
 	for k, sv := range rt.svcs {
 		var res config.Resource
@@ -447,7 +492,9 @@ func (rt *Runtime) EndSliceMulti(steady sim.PhaseResult, qps []float64) {
 			}
 		}
 		col := res.Index()
-		rt.pwrM.Observe(rt.lcPowerRow(k), col, sim.Measure(rt.r, corePower, rt.p.SteadyNoise))
+		if !faulted && rt.validSample(corePower) {
+			rt.pwrM.Observe(rt.lcPowerRow(k), col, sim.Measure(rt.r, corePower, rt.p.SteadyNoise))
+		}
 		if rt.p.TrackAccuracy && rt.predThr != nil {
 			rt.accErrs["power"] = append(rt.accErrs["power"],
 				stats.RelErrPct(sv.predPwr, corePower))
@@ -456,6 +503,11 @@ func (rt *Runtime) EndSliceMulti(steady sim.PhaseResult, qps []float64) {
 			continue
 		}
 		p99 := stats.P99(sojourns) * 1e3
+		if !rt.validSample(p99) {
+			// Garbage sojourn telemetry: without a trustworthy tail
+			// measurement the slice teaches nothing about latency.
+			continue
+		}
 		wasDraining := sv.prevViolated
 		sv.lastP99Ms = p99
 		sv.haveP99 = true
@@ -471,7 +523,7 @@ func (rt *Runtime) EndSliceMulti(steady sim.PhaseResult, qps []float64) {
 			rt.accErrs["latency"] = append(rt.accErrs["latency"],
 				stats.RelErrPct(sv.predLat, p99))
 		}
-		if !wasDraining || rt.p.DisableDrainGuard {
+		if (!wasDraining || rt.p.DisableDrainGuard) && !faulted {
 			// Exponentially weighted update: p99 near a saturation knee
 			// is noisy slice to slice, and a single lucky sample must
 			// not certify a marginal configuration.
@@ -483,9 +535,105 @@ func (rt *Runtime) EndSliceMulti(steady sim.PhaseResult, qps []float64) {
 			sv.cleanSlices++
 		}
 		// Mean service time is measurable regardless of backlog.
-		rt.svcM.Observe(rt.latRow(k), col,
-			sim.Measure(rt.r, meanSvcMs, rt.p.SteadyNoise))
+		if !faulted && rt.validSample(meanSvcMs) {
+			rt.svcM.Observe(rt.latRow(k), col,
+				sim.Measure(rt.r, meanSvcMs, rt.p.SteadyNoise))
+		}
 	}
+	rt.updateDivergence(alloc, steady, mux)
+}
+
+// validSample reports whether a telemetry reading can be trusted:
+// finite and non-negative. Corrupted profiling samples and garbage
+// steady-state telemetry (NaN, negative counters) must not reach the
+// matrices — a single poisoned cell propagates through the log-space
+// reconstruction to every prediction in its row and column.
+func (rt *Runtime) validSample(v float64) bool {
+	if rt.p.DisableResilience {
+		return true
+	}
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// ValidateProfile implements harness.ProfileValidator: profiling
+// windows whose counters are non-finite or negative are rejected so
+// the harness re-samples (up to harness.MaxProfileRetries) instead of
+// handing corrupted readings to the reconstruction.
+func (rt *Runtime) ValidateProfile(profile []sim.PhaseResult) error {
+	if rt.p.DisableResilience {
+		return nil
+	}
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) || v < 0 }
+	for pi, pr := range profile {
+		for i, v := range pr.BatchBIPS {
+			if bad(v) {
+				return fmt.Errorf("profile window %d: batch job %d throughput %v", pi, i, v)
+			}
+			// The runtime's profile windows never gate a job, so a zero
+			// throughput reading is a dropped sample, not a measurement.
+			if v == 0 {
+				return fmt.Errorf("profile window %d: batch job %d sample dropped", pi, i)
+			}
+		}
+		for i, v := range pr.BatchPowerW {
+			if bad(v) {
+				return fmt.Errorf("profile window %d: batch job %d power %v", pi, i, v)
+			}
+		}
+		if bad(pr.LCCorePowerW) {
+			return fmt.Errorf("profile window %d: LC core power %v", pi, pr.LCCorePowerW)
+		}
+		for i, v := range pr.ExtraLCPowerW {
+			if bad(v) {
+				return fmt.Errorf("profile window %d: service %d core power %v", pi, i+1, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Degraded implements harness.DegradedReporter: true while the
+// divergence detector has the runtime on safe-fallback allocations.
+func (rt *Runtime) Degraded() bool { return rt.degraded }
+
+// updateDivergence runs the divergence detector: a slice whose mean
+// relative error between the predictions behind the applied
+// allocation and the measured steady-state metrics exceeds
+// DivergenceTol counts toward a streak, and DivergenceSlices
+// consecutive divergent slices trip degraded mode. A single slice
+// that agrees with its predictions again clears it.
+func (rt *Runtime) updateDivergence(alloc *sim.Allocation, steady sim.PhaseResult, mux float64) {
+	if rt.p.DisableResilience || rt.predThr == nil {
+		return
+	}
+	var sum float64
+	var n int
+	add := func(pred, meas float64) {
+		if pred > 0 && rt.validSample(meas) {
+			sum += math.Abs(pred-meas) / pred
+			n++
+		}
+	}
+	for i, b := range alloc.Batch {
+		if b.Gated || mux == 0 || i >= len(steady.BatchBIPS) || i >= len(rt.predThr) {
+			continue
+		}
+		add(rt.predThr[i], steady.BatchBIPS[i]/mux)
+	}
+	for _, sv := range rt.svcs {
+		if sv.haveP99 {
+			add(sv.predLat, sv.lastP99Ms)
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if sum/float64(n) > rt.p.DivergenceTol {
+		rt.divergeStreak++
+	} else {
+		rt.divergeStreak = 0
+	}
+	rt.degraded = rt.divergeStreak >= rt.p.DivergenceSlices
 }
 
 // reconstructAll runs the reconstruction instances in parallel (§V).

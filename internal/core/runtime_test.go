@@ -9,6 +9,24 @@ import (
 	"cuttlesys/internal/workload"
 )
 
+func mustRun(t *testing.T, m *sim.Machine, rt harness.Scheduler, slices int, load harness.LoadPattern, budget harness.BudgetPattern) *harness.Result {
+	t.Helper()
+	res, err := harness.Run(m, rt, slices, load, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustRunMulti(t *testing.T, m *sim.Machine, rt harness.MultiScheduler, slices int, loads []harness.LoadPattern, budget harness.BudgetPattern) *harness.Result {
+	t.Helper()
+	res, err := harness.RunMulti(m, rt, slices, loads, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func testMachine(t *testing.T, lcName string, seed uint64) *sim.Machine {
 	t.Helper()
 	lc, err := workload.ByName(lcName)
@@ -87,7 +105,7 @@ func TestDecideProducesValidAllocation(t *testing.T) {
 func TestFullRunMeetsQoSAndBudget(t *testing.T) {
 	m := testMachine(t, "silo", 3)
 	rt := New(m, Params{Seed: 3})
-	res := harness.Run(m, rt, 10, harness.ConstantLoad(0.8), harness.ConstantBudget(0.7))
+	res := mustRun(t, m, rt, 10, harness.ConstantLoad(0.8), harness.ConstantBudget(0.7))
 	if len(res.Slices) != 10 {
 		t.Fatalf("recorded %d slices", len(res.Slices))
 	}
@@ -114,7 +132,7 @@ func TestFullRunMeetsQoSAndBudget(t *testing.T) {
 func TestAdaptsToBudgetDrop(t *testing.T) {
 	m := testMachine(t, "xapian", 4)
 	rt := New(m, Params{Seed: 4})
-	res := harness.Run(m, rt, 14, harness.ConstantLoad(0.8),
+	res := mustRun(t, m, rt, 14, harness.ConstantLoad(0.8),
 		harness.StepBudget(0.9, 0.6, 0.5, 2.0))
 	// Throughput under the 60% cap must be below the 90% region.
 	hi := res.Slices[3].GmeanBIPS // settled 90% region
@@ -134,7 +152,7 @@ func TestCoreRelocationUnderOverload(t *testing.T) {
 	// runtime must reclaim cores from the batch jobs.
 	m := testMachine(t, "moses", 5)
 	rt := New(m, Params{Seed: 5})
-	res := harness.Run(m, rt, 12, harness.ConstantLoad(1.4), harness.ConstantBudget(0.9))
+	res := mustRun(t, m, rt, 12, harness.ConstantLoad(1.4), harness.ConstantBudget(0.9))
 	grew := false
 	for _, s := range res.Slices {
 		if s.LCCores > 16 {
@@ -150,7 +168,7 @@ func TestCoreRelocationUnderOverload(t *testing.T) {
 func TestYieldsCoresWhenLoadDrops(t *testing.T) {
 	m := testMachine(t, "moses", 6)
 	rt := New(m, Params{Seed: 6})
-	res := harness.Run(m, rt, 24, harness.StepLoad(0.2, 1.4, 0.2, 1.0), harness.ConstantBudget(0.9))
+	res := mustRun(t, m, rt, 24, harness.StepLoad(0.2, 1.4, 0.2, 1.0), harness.ConstantBudget(0.9))
 	peak, final := 0, res.Slices[len(res.Slices)-1].LCCores
 	for _, s := range res.Slices {
 		if s.LCCores > peak {
@@ -170,7 +188,7 @@ func TestLowLoadUsesCheaperConfigs(t *testing.T) {
 	// configuration, leaving power for the batch jobs.
 	m := testMachine(t, "xapian", 7)
 	rt := New(m, Params{Seed: 7})
-	res := harness.Run(m, rt, 10, harness.ConstantLoad(0.2), harness.ConstantBudget(0.7))
+	res := mustRun(t, m, rt, 10, harness.ConstantLoad(0.2), harness.ConstantBudget(0.7))
 	last := res.Slices[len(res.Slices)-1]
 	if last.LCCoreCfg == config.Widest.String() {
 		t.Fatalf("LC stuck on widest config at 20%% load (cfg %s)", last.LCCoreCfg)
@@ -184,7 +202,7 @@ func TestBatchOnlyMachine(t *testing.T) {
 	_, test := workload.SplitTrainTest(1, 16)
 	m := sim.New(sim.Spec{Seed: 8, Batch: workload.Mix(8, test, 32), Reconfigurable: true})
 	rt := New(m, Params{Seed: 8})
-	res := harness.Run(m, rt, 5, harness.ConstantLoad(0), harness.ConstantBudget(0.6))
+	res := mustRun(t, m, rt, 5, harness.ConstantLoad(0), harness.ConstantBudget(0.6))
 	if res.TotalInstrB() <= 0 {
 		t.Fatal("batch-only machine executed nothing")
 	}
@@ -212,7 +230,7 @@ func TestMultiServiceQoS(t *testing.T) {
 	// Loads sized to the services' 8-core initial allocations: load is
 	// defined against the 16-core max-QPS knee (§VII-A), so 0.45 on 8
 	// cores is the same utilisation as 0.9 on 16.
-	res := harness.RunMulti(m, rt, 12,
+	res := mustRunMulti(t, m, rt, 12,
 		[]harness.LoadPattern{harness.ConstantLoad(0.45), harness.ConstantLoad(0.4)},
 		harness.ConstantBudget(0.8))
 	if res.TotalInstrB() <= 0 {
@@ -255,7 +273,7 @@ func TestMultiServiceRelocation(t *testing.T) {
 		Reconfigurable: true,
 	})
 	rt := New(m, Params{Seed: 22})
-	res := harness.RunMulti(m, rt, 12,
+	res := mustRunMulti(t, m, rt, 12,
 		[]harness.LoadPattern{harness.ConstantLoad(0.4), harness.ConstantLoad(2.6)},
 		harness.ConstantBudget(0.9))
 	grew := false

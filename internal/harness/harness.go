@@ -52,6 +52,45 @@ type MultiScheduler interface {
 	EndSliceMulti(steady sim.PhaseResult, qps []float64)
 }
 
+// ProfileValidator is an optional scheduler extension: a scheduler
+// that can tell corrupt profiling telemetry from clean gets its
+// profile phases re-executed (consuming real slice time) up to
+// MaxProfileRetries times before the last sample set is handed to
+// Decide regardless.
+type ProfileValidator interface {
+	ValidateProfile(profile []sim.PhaseResult) error
+}
+
+// MaxProfileRetries bounds in-slice profiling re-sampling when a
+// ProfileValidator rejects the samples. Each retry burns another
+// profiling window of the slice, so the bound keeps a persistently
+// corrupt sensor from consuming the whole quantum.
+const MaxProfileRetries = 2
+
+// DegradedReporter is an optional scheduler extension reporting
+// whether the scheduler spent the just-ended slice in a degraded
+// (safe-fallback) mode; the harness records it per slice.
+type DegradedReporter interface {
+	Degraded() bool
+}
+
+// FaultInjector is the fault surface RunFaulted drives: hardware
+// faults via sim.Injector, environmental perturbations (flash-crowd
+// load, budget drops), and corruption of the scheduler's telemetry
+// view. fault.Schedule implements it.
+type FaultInjector interface {
+	sim.Injector
+	// LoadFactor multiplies every LC service's offered load at time t.
+	LoadFactor(t float64) float64
+	// BudgetFactor multiplies the power budget at time t.
+	BudgetFactor(t float64) float64
+	// ObservePhase returns the scheduler's (possibly corrupted) view
+	// of a phase result; the original must not be mutated.
+	ObservePhase(t float64, res sim.PhaseResult, profiling bool) sim.PhaseResult
+	// ActiveKinds names the fault kinds active at time t, nil if none.
+	ActiveKinds(t float64) []string
+}
+
 // LoadPattern yields the LC service's offered load fraction (of max
 // QPS) at a simulation time.
 type LoadPattern func(t float64) float64
@@ -128,6 +167,12 @@ type SliceRecord struct {
 	LCCores     int
 	LCCoreCfg   string // chosen LC core config, e.g. "{6,2,6}"
 	LCCacheWays float64
+
+	// Resilience telemetry (zero-valued on fault-free runs).
+	FaultKinds     []string // fault kinds active this slice, nil if none
+	FailedCores    int      // fail-stopped cores observed in steady state
+	Degraded       bool     // scheduler ran in safe-fallback mode
+	ProfileRetries int      // in-slice profiling retries this slice
 }
 
 // Result aggregates an experiment run.
@@ -196,21 +241,117 @@ func (r *Result) BudgetViolations(tolFrac float64) int {
 	return n
 }
 
+func (s *SliceRecord) anyViolated() bool {
+	if s.Violated {
+		return true
+	}
+	for _, v := range s.ExtraViolated {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *SliceRecord) faultActive() bool {
+	return len(s.FaultKinds) > 0 || s.FailedCores > 0
+}
+
+// RecoverySlices is the QoS-violation recovery time: the length of the
+// longest run of consecutive violated slices that started while a
+// fault was active. A violation chain that outlives its fault still
+// counts in full — that tail is exactly the recovery the metric
+// measures. Zero means every fault was absorbed without a violation.
+func (r *Result) RecoverySlices() int {
+	longest, cur := 0, 0
+	inChain := false
+	for i := range r.Slices {
+		s := &r.Slices[i]
+		switch {
+		case s.anyViolated() && (s.faultActive() || inChain):
+			if !inChain {
+				inChain = true
+				cur = 0
+			}
+			cur++
+			if cur > longest {
+				longest = cur
+			}
+		case !s.anyViolated():
+			inChain = false
+			cur = 0
+		}
+	}
+	return longest
+}
+
+// FaultAttributedViolations counts violated slices attributable to a
+// fault: the fault was active during the slice, or the slice continues
+// an unbroken violation chain that began under one.
+func (r *Result) FaultAttributedViolations() int {
+	n := 0
+	inChain := false
+	for i := range r.Slices {
+		s := &r.Slices[i]
+		switch {
+		case s.anyViolated() && (s.faultActive() || inChain):
+			inChain = true
+			n++
+		case !s.anyViolated():
+			inChain = false
+		}
+	}
+	return n
+}
+
+// DegradedOccupancy is the fraction of slices the scheduler spent in
+// its safe-fallback (degraded) mode — time not spent optimising.
+func (r *Result) DegradedOccupancy() float64 {
+	if len(r.Slices) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range r.Slices {
+		if r.Slices[i].Degraded {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Slices))
+}
+
 // Run executes slices timeslices of the scheduler against the machine.
 // The load and budget patterns are sampled at each slice start; budget
-// is expressed as a fraction of the machine's reference MaxPowerW.
-func Run(m *sim.Machine, s Scheduler, slices int, load LoadPattern, budget BudgetPattern) *Result {
-	return runImpl(m, singleAdapter{s}, slices, []LoadPattern{load}, budget)
+// is expressed as a fraction of the machine's reference MaxPowerW. It
+// returns an error (not a partial result) for invalid experiment
+// setups: a non-positive slice count, fewer load patterns than
+// services, or a scheduler emitting a non-positive profile duration.
+func Run(m *sim.Machine, s Scheduler, slices int, load LoadPattern, budget BudgetPattern) (*Result, error) {
+	return runImpl(m, singleAdapter{s}, slices, []LoadPattern{load}, budget, nil)
 }
 
 // RunMulti executes a multi-service experiment: one load pattern per
 // latency-critical service, primary first.
-func RunMulti(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern) *Result {
-	return runImpl(m, s, slices, loads, budget)
+func RunMulti(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern) (*Result, error) {
+	return runImpl(m, s, slices, loads, budget, nil)
+}
+
+// RunFaulted is Run under a fault injector: hardware faults reach the
+// machine, flash crowds and budget drops perturb the environment, and
+// telemetry corruption is applied to the scheduler's view of each
+// phase while the records keep the physical truth. A nil injector (or
+// one with an empty schedule) reproduces Run exactly, bit for bit.
+func RunFaulted(m *sim.Machine, s Scheduler, slices int, load LoadPattern, budget BudgetPattern, inj FaultInjector) (*Result, error) {
+	return runImpl(m, singleAdapter{s}, slices, []LoadPattern{load}, budget, inj)
+}
+
+// RunFaultedMulti is RunMulti under a fault injector.
+func RunFaultedMulti(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern, inj FaultInjector) (*Result, error) {
+	return runImpl(m, s, slices, loads, budget, inj)
 }
 
 // singleAdapter lifts a single-service Scheduler into the multi
-// interface for the shared driver.
+// interface for the shared driver, forwarding the optional
+// resilience extensions with safe defaults.
 type singleAdapter struct{ s Scheduler }
 
 func (a singleAdapter) Name() string { return a.s.Name() }
@@ -223,6 +364,18 @@ func (a singleAdapter) DecideMulti(profile []sim.PhaseResult, qps []float64, bud
 func (a singleAdapter) EndSliceMulti(steady sim.PhaseResult, qps []float64) {
 	a.s.EndSlice(steady, first(qps))
 }
+func (a singleAdapter) ValidateProfile(profile []sim.PhaseResult) error {
+	if v, ok := a.s.(ProfileValidator); ok {
+		return v.ValidateProfile(profile)
+	}
+	return nil
+}
+func (a singleAdapter) Degraded() bool {
+	if d, ok := a.s.(DegradedReporter); ok {
+		return d.Degraded()
+	}
+	return false
+}
 
 func first(qps []float64) float64 {
 	if len(qps) == 0 {
@@ -231,9 +384,9 @@ func first(qps []float64) float64 {
 	return qps[0]
 }
 
-func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern) *Result {
+func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern, inj FaultInjector) (*Result, error) {
 	if slices <= 0 {
-		panic("harness: non-positive slice count")
+		return nil, fmt.Errorf("harness: non-positive slice count %d", slices)
 	}
 	extras := m.ExtraLCs()
 	nServices := len(extras)
@@ -241,8 +394,14 @@ func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, 
 		nServices++
 	}
 	if len(loads) < nServices {
-		panic(fmt.Sprintf("harness: %d load patterns for %d services", len(loads), nServices))
+		return nil, fmt.Errorf("harness: %d load patterns for %d services", len(loads), nServices)
 	}
+	if inj != nil {
+		m.SetInjector(inj)
+		defer m.SetInjector(nil)
+	}
+	validator, _ := s.(ProfileValidator)
+	reporter, _ := s.(DegradedReporter)
 	maxPower := m.MaxPowerW()
 	res := &Result{Scheduler: s.Name()}
 	var prevAlloc *sim.Allocation
@@ -253,24 +412,40 @@ func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, 
 		}
 		return m.RunMulti(alloc, dur, qps)
 	}
+	// observe yields the scheduler's view of a phase result — the
+	// physical truth unless a telemetry fault is active.
+	observe := func(t float64, pr sim.PhaseResult, profiling bool) sim.PhaseResult {
+		if inj == nil {
+			return pr
+		}
+		return inj.ObservePhase(t, pr, profiling)
+	}
 
 	for sl := 0; sl < slices; sl++ {
 		t := m.Now()
 		loadFrac := 0.0
 		qps := make([]float64, nServices)
 		qosMs := 0.0
+		loadFactor, budgetFactor := 1.0, 1.0
+		if inj != nil {
+			loadFactor = inj.LoadFactor(t)
+			budgetFactor = inj.BudgetFactor(t)
+		}
 		if m.LC() != nil {
-			loadFrac = loads[0](t)
+			loadFrac = loads[0](t) * loadFactor
 			qps[0] = loadFrac * m.LC().MaxQPS
 			qosMs = m.LC().QoSTargetMs
 		}
 		for x, app := range extras {
-			qps[x+1] = loads[x+1](t) * app.MaxQPS
+			qps[x+1] = loads[x+1](t) * loadFactor * app.MaxQPS
 		}
-		budgetW := budget(t) * maxPower
+		budgetW := budget(t) * maxPower * budgetFactor
 
 		rec := SliceRecord{
 			T: t, LoadFrac: loadFrac, QPS: first(qps), QoSMs: qosMs, BudgetW: budgetW,
+		}
+		if inj != nil {
+			rec.FaultKinds = inj.ActiveKinds(t)
 		}
 
 		var (
@@ -298,16 +473,26 @@ func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, 
 			}
 		}
 
-		// 1. Profiling phases.
+		// 1. Profiling phases. A ProfileValidator scheduler gets corrupt
+		// samples re-taken (bounded, and each retry consumes slice time).
 		profPhases := s.ProfilePhasesMulti(qps, budgetW)
-		profResults := make([]sim.PhaseResult, 0, len(profPhases))
-		for _, ph := range profPhases {
-			if ph.Dur <= 0 {
-				panic("harness: profile phase with non-positive duration")
+		var profResults []sim.PhaseResult
+		for attempt := 0; ; attempt++ {
+			profResults = make([]sim.PhaseResult, 0, len(profPhases))
+			for _, ph := range profPhases {
+				if ph.Dur <= 0 {
+					return nil, fmt.Errorf("harness: %s: profile phase with non-positive duration %v",
+						s.Name(), ph.Dur)
+				}
+				pr := run(ph.Alloc, ph.Dur, qps)
+				profResults = append(profResults, observe(t, pr, true))
+				accumulate(pr)
 			}
-			pr := run(ph.Alloc, ph.Dur, qps)
-			profResults = append(profResults, pr)
-			accumulate(pr)
+			if len(profPhases) == 0 || validator == nil ||
+				attempt >= MaxProfileRetries || validator.ValidateProfile(profResults) == nil {
+				rec.ProfileRetries = attempt
+				break
+			}
 		}
 
 		// 2. Decision.
@@ -327,10 +512,14 @@ func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, 
 		if remain := SliceDur - elapsed; remain > 1e-9 {
 			steady := run(alloc, remain, qps)
 			accumulate(steady)
-			s.EndSliceMulti(steady, qps)
+			rec.FailedCores = steady.FailedLC + steady.FailedBatch
+			s.EndSliceMulti(observe(t, steady, false), qps)
 		} else {
 			// Degenerate: profiling consumed the slice (Flicker mode a).
 			s.EndSliceMulti(sim.PhaseResult{Dur: 0, BatchBIPS: make([]float64, nBatch), BatchInstrB: make([]float64, nBatch)}, qps)
+		}
+		if reporter != nil {
+			rec.Degraded = reporter.Degraded()
 		}
 		prev := alloc
 		prevAlloc = &prev
@@ -360,7 +549,7 @@ func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, 
 		rec.LCCacheWays = alloc.LCCache.Ways()
 		res.Slices = append(res.Slices, rec)
 	}
-	return res
+	return res, nil
 }
 
 // String summarises a result for quick inspection.

@@ -48,7 +48,10 @@ func testMachine(t *testing.T) *sim.Machine {
 func TestRunBasicAccounting(t *testing.T) {
 	m := testMachine(t)
 	s := &staticScheduler{alloc: sim.Uniform(16, true, 16, config.Widest, config.OneWay)}
-	res := Run(m, s, 5, ConstantLoad(0.5), ConstantBudget(0.8))
+	res, err := Run(m, s, 5, ConstantLoad(0.5), ConstantBudget(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Slices) != 5 || s.decides != 5 || s.ends != 5 {
 		t.Fatalf("slices/decides/ends = %d/%d/%d", len(res.Slices), s.decides, s.ends)
 	}
@@ -75,7 +78,9 @@ func TestProfilingPhasesExecuted(t *testing.T) {
 		alloc:    sim.Uniform(16, true, 16, config.Widest, config.OneWay),
 		profiles: []Phase{{Dur: 0.001, Alloc: prof}, {Dur: 0.001, Alloc: prof}},
 	}
-	Run(m, s, 2, ConstantLoad(0.5), ConstantBudget(0.8))
+	if _, err := Run(m, s, 2, ConstantLoad(0.5), ConstantBudget(0.8)); err != nil {
+		t.Fatal(err)
+	}
 	if len(s.profResults[0]) != 2 {
 		t.Fatalf("scheduler saw %d profile results, want 2", len(s.profResults[0]))
 	}
@@ -92,7 +97,10 @@ func TestOverheadHoldsPreviousAllocation(t *testing.T) {
 		alloc:    sim.Uniform(16, true, 16, config.Widest, config.OneWay),
 		overhead: 0.01,
 	}
-	res := Run(m, s, 3, ConstantLoad(0.5), ConstantBudget(0.8))
+	res, err := Run(m, s, 3, ConstantLoad(0.5), ConstantBudget(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Steady state shrinks by the overhead.
 	if got := s.steadies[1].Dur; math.Abs(got-(SliceDur-0.01)) > 1e-9 {
 		t.Fatalf("steady duration %v, want %v", got, SliceDur-0.01)
@@ -154,13 +162,29 @@ func TestResultAggregates(t *testing.T) {
 	}
 }
 
-func TestRunPanicsOnBadSliceCount(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Run(0 slices) did not panic")
-		}
-	}()
+func TestRunErrorsOnBadSetup(t *testing.T) {
 	m := testMachine(t)
-	Run(m, &staticScheduler{alloc: sim.Uniform(16, true, 16, config.Widest, config.OneWay)}, 0,
-		ConstantLoad(0.5), ConstantBudget(0.8))
+	sched := &staticScheduler{alloc: sim.Uniform(16, true, 16, config.Widest, config.OneWay)}
+	if _, err := Run(m, sched, 0, ConstantLoad(0.5), ConstantBudget(0.8)); err == nil {
+		t.Fatal("Run(0 slices) did not error")
+	}
+	if _, err := Run(m, sched, -3, ConstantLoad(0.5), ConstantBudget(0.8)); err == nil {
+		t.Fatal("Run(-3 slices) did not error")
+	}
+	// Fewer load patterns than services.
+	if _, err := RunMulti(m, singleAdapter{sched}, 2, nil, ConstantBudget(0.8)); err == nil {
+		t.Fatal("RunMulti without load patterns did not error")
+	}
+	// A scheduler emitting a broken profile phase.
+	bad := &staticScheduler{
+		alloc:    sim.Uniform(16, true, 16, config.Widest, config.OneWay),
+		profiles: []Phase{{Dur: 0, Alloc: sim.Uniform(16, true, 16, config.Widest, config.OneWay)}},
+	}
+	if _, err := Run(m, bad, 2, ConstantLoad(0.5), ConstantBudget(0.8)); err == nil {
+		t.Fatal("zero-duration profile phase did not error")
+	}
+	// The machine must still be usable after the failed setups.
+	if _, err := Run(m, sched, 1, ConstantLoad(0.5), ConstantBudget(0.8)); err != nil {
+		t.Fatalf("machine unusable after setup errors: %v", err)
+	}
 }

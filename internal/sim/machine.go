@@ -59,6 +59,10 @@ type Machine struct {
 	extraLCs   []*workload.Profile
 	extraSvcs  []*qsim.Service
 	extraInstr []float64
+
+	// inj, when non-nil, disrupts execution phases with hardware
+	// faults (fail-stop, fail-slow). See SetInjector.
+	inj Injector
 }
 
 // New constructs a Machine from spec. It panics on invalid profiles so
@@ -182,6 +186,12 @@ type PhaseResult struct {
 	ExtraMeanSvc   []float64
 	ExtraLCPowerW  []float64
 	ExtraEffWaysLC []float64
+
+	// FailedLC and FailedBatch report fail-stopped cores during the
+	// phase — the machine-check telemetry a runtime can act on. Both
+	// are zero on healthy hardware.
+	FailedLC    int
+	FailedBatch int
 }
 
 // Run executes one phase of durSec seconds under alloc with the LC
@@ -222,6 +232,31 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 		qps0 = qps[0]
 	}
 
+	// Hardware faults for this phase (zero Disruption when healthy).
+	var d Disruption
+	if m.inj != nil {
+		d = m.inj.Disrupt(m.now).normalized()
+	} else {
+		d = Disruption{SlowLC: 1, SlowBatch: 1}
+	}
+	// The service keeps at least one live core; a machine losing every
+	// LC core is outside the model (the whole box is down).
+	lcServers := alloc.LCCores
+	if m.lc != nil && alloc.LCCores > 0 && d.FailedLC > 0 {
+		lcServers = alloc.LCCores - d.FailedLC
+		if lcServers < 1 {
+			lcServers = 1
+		}
+	}
+	deadLC := alloc.LCCores - lcServers
+	deadBatch := d.FailedBatch
+	if bc := alloc.BatchCores(m.nCores); deadBatch > bc {
+		deadBatch = bc
+	}
+	if deadBatch < 0 {
+		deadBatch = 0
+	}
+
 	effBatch, effLC, effExtra := m.effectiveWays(&alloc)
 
 	// Converge the bandwidth fixed point: IPCs determine DRAM traffic,
@@ -233,15 +268,15 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 			if b.Gated {
 				continue
 			}
-			f := m.freqFor(b.FreqGHz)
+			f := m.freqFor(b.FreqGHz) * d.SlowBatch
 			ipc := m.Perf.IPCAtFreq(m.batch[i], b.Core, effBatch[i], inflation, f)
 			missesPerInstr := m.batch[i].MemFrac * m.batch[i].L1MissRate * m.batch[i].MissRatio(effBatch[i])
 			traffic += ipc * f * missesPerInstr * 64
 		}
 		if m.lc != nil && alloc.LCCores > 0 {
 			perCore := m.Perf.DRAMTrafficGBs(m.lc, alloc.LCCore, effLC, inflation)
-			util := m.lcUtilisation(&alloc, qps0, effLC, inflation)
-			traffic += perCore * float64(alloc.LCCores) * util
+			util := m.lcUtilisation(&alloc, qps0, effLC, inflation, lcServers, d.SlowLC)
+			traffic += perCore * float64(lcServers) * util
 		}
 		for x, e := range alloc.ExtraLC {
 			app := m.extraLCs[x]
@@ -265,6 +300,16 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 	}
 
 	mux := alloc.MultiplexFactor(m.nCores)
+	if deadBatch > 0 {
+		// Surviving batch jobs time-multiplex onto the live cores.
+		live := alloc.BatchCores(m.nCores) - deadBatch
+		if active := alloc.ActiveBatch(); active > 0 && live < active {
+			mux = 0
+			if live > 0 {
+				mux = float64(live) / float64(active)
+			}
+		}
+	}
 	totalPower := 0.0
 
 	// Batch jobs.
@@ -274,7 +319,7 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 			totalPower += power.GatedCoreW
 			continue
 		}
-		f := m.freqFor(b.FreqGHz)
+		f := m.freqFor(b.FreqGHz) * d.SlowBatch
 		ipc := m.Perf.IPCAtFreq(m.batch[i], b.Core, effBatch[i], inflation, f)
 		bips := ipc * f * mux
 		res.BatchBIPS[i] = bips
@@ -284,15 +329,16 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 		totalPower += corePower * mux
 		activeCoresUsed++
 	}
-	// Batch cores left idle (more cores than active jobs) sit gated.
-	if spare := alloc.BatchCores(m.nCores) - activeCoresUsed; spare > 0 {
+	// Batch cores left idle (more cores than active jobs) sit gated;
+	// fail-stopped cores draw nothing at all.
+	if spare := alloc.BatchCores(m.nCores) - deadBatch - activeCoresUsed; spare > 0 {
 		totalPower += float64(spare) * power.GatedCoreW
 	}
 
 	// Latency-critical service.
 	if m.lc != nil && alloc.LCCores > 0 {
-		m.svc.SetServers(alloc.LCCores)
-		lcFreq := m.freqFor(alloc.LCFreqGHz)
+		m.svc.SetServers(lcServers)
+		lcFreq := m.freqFor(alloc.LCFreqGHz) * d.SlowLC
 		ipc := m.Perf.IPCAtFreq(m.lc, alloc.LCCore, effLC, inflation, lcFreq)
 		rateIPC := ipc
 		if alloc.LCHalfBlend {
@@ -305,7 +351,7 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 		meanSvc := m.queryInstr / (rateIPC * lcFreq * 1e9)
 		res.LCMeanSvc = meanSvc
 		res.Sojourns = m.svc.Step(durSec, qps0, meanSvc, m.lc.QuerySigma)
-		util := math.Min(1, qps0*meanSvc/float64(alloc.LCCores))
+		util := math.Min(1, qps0*meanSvc/float64(lcServers))
 		// Dynamic power scales with how busy the LC cores actually are.
 		// The reported per-core sample is for LCCore itself — what a
 		// sensor on one of the LCCore-configured cores would read.
@@ -317,9 +363,9 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 			}
 			otherIPC := m.Perf.IPCAtFreq(m.lc, other, effLC, inflation, lcFreq)
 			otherPower := m.Power.CoreAtDVFS(m.lc, other, otherIPC*util, lcFreq)
-			totalPower += float64(alloc.LCCores) * (res.LCCorePowerW + otherPower) / 2
+			totalPower += float64(lcServers) * (res.LCCorePowerW + otherPower) / 2
 		} else {
-			totalPower += float64(alloc.LCCores) * res.LCCorePowerW
+			totalPower += float64(lcServers) * res.LCCorePowerW
 		}
 	}
 
@@ -360,17 +406,20 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 
 	totalPower += m.Power.LLC(config.LLCWays) + m.Power.Uncore(m.nCores)
 	res.PowerW = totalPower
+	res.FailedLC = deadLC
+	res.FailedBatch = deadBatch
 	m.now += durSec
 	return res
 }
 
 // lcUtilisation estimates the LC cores' busy fraction for the
-// bandwidth fixed point.
-func (m *Machine) lcUtilisation(alloc *Allocation, qps, effLC, inflation float64) float64 {
-	f := m.freqFor(alloc.LCFreqGHz)
+// bandwidth fixed point. servers is the count of live LC cores and
+// slow the fail-slow frequency de-rating (1 when healthy).
+func (m *Machine) lcUtilisation(alloc *Allocation, qps, effLC, inflation float64, servers int, slow float64) float64 {
+	f := m.freqFor(alloc.LCFreqGHz) * slow
 	ipc := m.Perf.IPCAtFreq(m.lc, alloc.LCCore, effLC, inflation, f)
 	meanSvc := m.queryInstr / (ipc * f * 1e9)
-	return math.Min(1, qps*meanSvc/float64(alloc.LCCores))
+	return math.Min(1, qps*meanSvc/float64(servers))
 }
 
 // freqFor resolves a per-assignment frequency override against the
