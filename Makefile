@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench chaos
+.PHONY: build test race vet bench chaos lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,18 @@ vet:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Run the repository-invariant analyzer suite (see DESIGN.md §7).
+lint:
+	$(GO) run ./cmd/cuttlelint ./...
+
+# Fail if any file is not gofmt-formatted.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Everything CI runs, in order.
+ci: build vet fmt test race lint
 
 # Regenerate the seeded resilience report (see EXPERIMENTS.md).
 chaos:

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -38,7 +39,13 @@ func main() {
 	experiments.WriteFig1(os.Stdout, rows, high)
 
 	fmt.Println("\ncheapest QoS-meeting configuration per service (cf. Fig. 1):")
-	for svc, cfg := range experiments.BestTradeoff(rows, high) {
-		fmt.Printf("  %-10s %s\n", svc, cfg)
+	best := experiments.BestTradeoff(rows, high)
+	svcs := make([]string, 0, len(best))
+	for svc := range best {
+		svcs = append(svcs, svc)
+	}
+	sort.Strings(svcs)
+	for _, svc := range svcs {
+		fmt.Printf("  %-10s %s\n", svc, best[svc])
 	}
 }

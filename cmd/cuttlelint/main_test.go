@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os/exec"
+	"testing"
+)
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		rel, pat string
+		want     bool
+	}{
+		{"internal/core", "./...", true},
+		{"internal/core", "...", true},
+		{".", "./...", true},
+		{"internal/core", "internal/...", true},
+		{"internal/core", "./internal/...", true},
+		{"internal", "internal/...", true},
+		{"internals/core", "internal/...", false},
+		{"internal/core", "internal/core", true},
+		{"internal/core", "internal/cor", false},
+		{"internal/core/deep", "internal/core/...", true},
+		{".", ".", true},
+		{"cmd/chaos", ".", false},
+		{"cmd/chaos", "cmd/...", true},
+		{"cmd/chaos", "experiments/...", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.rel, c.pat); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.rel, c.pat, c.want, got)
+		}
+	}
+}
+
+// TestDriverRepoClean builds and runs the cuttlelint binary over this
+// repository end to end: the driver must exit 0 on the shipped tree.
+func TestDriverRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping driver build in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not available: %v", err)
+	}
+	bin := t.TempDir() + "/cuttlelint"
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	run := exec.Command(bin, "-C", "../..", "./...")
+	if out, err := run.CombinedOutput(); err != nil {
+		t.Errorf("cuttlelint ./... on repo: %v\n%s", err, out)
+	}
+}

@@ -106,8 +106,8 @@ func TestPatternsExposed(t *testing.T) {
 }
 
 func TestMultiServiceFacade(t *testing.T) {
-	xapian, _ := cuttlesys.AppByName("xapian")
-	silo, _ := cuttlesys.AppByName("silo")
+	xapian := mustApp(t, "xapian")
+	silo := mustApp(t, "silo")
 	_, pool := cuttlesys.SplitTrainTest(1, 16)
 	m := cuttlesys.NewMachine(cuttlesys.MachineSpec{
 		Seed: 33, LC: xapian, ExtraLCs: []*cuttlesys.Profile{silo},
@@ -126,4 +126,15 @@ func TestMultiServiceFacade(t *testing.T) {
 	if len(res.Slices[0].ExtraP99Ms) != 1 {
 		t.Fatal("extra-service records missing")
 	}
+}
+
+// mustApp resolves a service profile via the facade, failing the test
+// on a bad name so the error is never silently dropped.
+func mustApp(t testing.TB, name string) *cuttlesys.Profile {
+	t.Helper()
+	app, err := cuttlesys.AppByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
 }

@@ -59,6 +59,7 @@ func TableIIOverheads(seed uint64) TableIIResult {
 	params := sgd.Params{Seed: seed, Factors: 6, Reg: 0.03, MaxIter: 300, LogSpace: true, SVDInit: true}
 
 	// Three reconstructions in parallel, as the runtime runs them (§V).
+	//lint:allow determinism Table II measures real scheduling wall time; the timing is the result
 	start := time.Now()
 	done := make(chan struct{}, 3)
 	for _, m := range []*sgd.Matrix{thrM, pwrM, latM} {
@@ -70,6 +71,7 @@ func TableIIOverheads(seed uint64) TableIIResult {
 	for i := 0; i < 3; i++ {
 		<-done
 	}
+	//lint:allow determinism Table II measures real scheduling wall time; the timing is the result
 	sgdSec := time.Since(start).Seconds()
 
 	// One parallel DDS search with the Fig. 6 parameters.
@@ -85,11 +87,13 @@ func TableIIOverheads(seed uint64) TableIIResult {
 		}
 		return s
 	}
+	//lint:allow determinism Table II measures real scheduling wall time; the timing is the result
 	start = time.Now()
 	dds.Search(obj, dds.Params{
 		Dims: 16, NumConfigs: config.NumResources,
 		Seed: r.Uint64(), Workers: 8,
 	})
+	//lint:allow determinism Table II measures real scheduling wall time; the timing is the result
 	ddsSec := time.Since(start).Seconds()
 
 	return TableIIResult{ProfilingSec: 0.002, SGDSec: sgdSec, DDSSec: ddsSec}

@@ -1,0 +1,273 @@
+// Package analysis is cuttlelint: a stdlib-only static-analyzer suite
+// that machine-checks the repository invariants the reproduction's
+// guarantees rest on — byte-stable seeded reports, single-origin RNG
+// streams, NaN/Inf-free numeric hot paths and no silently dropped
+// errors. See DESIGN.md §7 for the mapping from each check to a paper
+// guarantee.
+//
+// A finding can be waived in place with a directive on the flagged
+// line or the line directly above it:
+//
+//	//lint:allow <check> <reason>
+//
+// The reason is mandatory: an allow documents why the invariant does
+// not apply, it does not merely silence the tool.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full cuttlelint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Determinism, Seedflow, Floatsafe, Errdrop}
+}
+
+// A Pass is one analyzer applied to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, possibly waived by a lint:allow
+// directive.
+type Diagnostic struct {
+	Pos        token.Position
+	Check      string
+	Message    string
+	Suppressed bool   // waived by //lint:allow
+	Reason     string // the directive's reason when suppressed
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	check  string
+	reason string
+}
+
+const directivePrefix = "lint:allow"
+
+// allowsByLine parses every //lint:allow directive in the package's
+// files, keyed by file:line. Malformed directives become diagnostics
+// themselves (check "lint"): a waiver without a named check and a
+// reason is exactly the silent rot the suite exists to prevent.
+func allowsByLine(pkg *Package, known map[string]bool, diags *[]Diagnostic) map[string][]allowDirective {
+	allows := map[string][]allowDirective{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok { // /* ... */ comments cannot carry directives
+					continue
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 3 {
+					*diags = append(*diags, Diagnostic{
+						Pos: pos, Check: "lint",
+						Message: "malformed directive: want //lint:allow <check> <reason>",
+					})
+					continue
+				}
+				check := fields[1]
+				if !known[check] {
+					*diags = append(*diags, Diagnostic{
+						Pos: pos, Check: "lint",
+						Message: fmt.Sprintf("//lint:allow names unknown check %q", check),
+					})
+					continue
+				}
+				key := lineKey(pos.Filename, pos.Line)
+				allows[key] = append(allows[key], allowDirective{
+					check:  check,
+					reason: strings.Join(fields[2:], " "),
+				})
+			}
+		}
+	}
+	return allows
+}
+
+func lineKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// RunAnalyzers applies the analyzers to every package and returns all
+// diagnostics, sorted by position, with lint:allow waivers applied.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	// Directives may name any check in the registry, not just the ones
+	// running now: a subset run must not misreport other checks' allows.
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		allows := allowsByLine(pkg, known, &pkgDiags)
+		for i := range pkgDiags {
+			d := &pkgDiags[i]
+			if d.Check == "lint" {
+				continue // directive problems are never self-waivable
+			}
+			// A directive waives findings on its own line or the line
+			// directly below it (comment-above style).
+			for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+				for _, al := range allows[lineKey(d.Pos.Filename, line)] {
+					if al.check == d.Check {
+						d.Suppressed = true
+						d.Reason = al.reason
+					}
+				}
+			}
+		}
+		diags = append(diags, pkgDiags...)
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// Format writes diagnostics with paths relative to root and returns
+// the number of unsuppressed violations. Suppressed findings are shown
+// only when showAllowed is set.
+func Format(w io.Writer, root string, diags []Diagnostic, showAllowed bool) int {
+	violations := 0
+	for _, d := range diags {
+		path := d.Pos.Filename
+		if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+			path = filepath.ToSlash(rel)
+		}
+		switch {
+		case !d.Suppressed:
+			violations++
+			fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", path, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		case showAllowed:
+			fmt.Fprintf(w, "%s:%d:%d: [%s] %s (allowed: %s)\n", path, d.Pos.Line, d.Pos.Column, d.Check, d.Message, d.Reason)
+		}
+	}
+	return violations
+}
+
+// --- shared AST/type helpers used by the individual analyzers ---
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves a call's target to a *types.Func (package-level
+// function or method), or nil for builtins, conversions and calls of
+// function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgPath returns the import path of the package an object belongs to,
+// or "" for universe-scope objects.
+func pkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isModuleLocal reports whether path lies inside the analyzed module.
+func isModuleLocal(path, modPath string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	return path == modPath || strings.HasPrefix(path, modPath+"/")
+}
+
+// hasPathSegment reports whether seg (e.g. "internal/core") appears as
+// a complete segment run inside the import path.
+func hasPathSegment(path, seg string) bool {
+	return strings.Contains("/"+strings.TrimSuffix(path, "_test")+"/", "/"+seg+"/")
+}
+
+// isFloat reports whether t's core type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// hasReceiver reports whether fn is a method.
+func hasReceiver(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// analyzerByName looks up one analyzer from the registry.
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// runFixture loads the fixture module under testdata/<name> and runs the
+// single named analyzer over it, returning the formatted report.
+func runFixture(t *testing.T, name string) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader(%s): %v", root, err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll(%s): %v", root, err)
+	}
+	diags := RunAnalyzers(pkgs, []*Analyzer{analyzerByName(t, name)})
+	var buf bytes.Buffer
+	Format(&buf, root, diags, true)
+	return buf.String()
+}
+
+// TestGolden checks each analyzer's exact diagnostics over its fixture
+// module, and that every fixture demonstrates both a caught violation
+// and an honored //lint:allow waiver.
+func TestGolden(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			got := runFixture(t, a.Name)
+			wantBytes, err := os.ReadFile(filepath.Join("testdata", a.Name, "want.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := string(wantBytes)
+			if got != want {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+
+			var violations, allowed int
+			for _, line := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+				if strings.Contains(line, "(allowed: ") {
+					allowed++
+				} else if line != "" {
+					violations++
+				}
+			}
+			if violations == 0 {
+				t.Errorf("fixture %s caught no violations", a.Name)
+			}
+			if allowed == 0 {
+				t.Errorf("fixture %s honored no //lint:allow directive", a.Name)
+			}
+		})
+	}
+}
+
+// TestRepoIsLintClean runs the full suite over this repository: the
+// invariants cuttlelint enforces must hold on the tree that ships it.
+func TestRepoIsLintClean(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkgs, Analyzers())
+	var buf bytes.Buffer
+	if n := Format(&buf, loader.Root, diags, false); n != 0 {
+		t.Errorf("repository has %d lint violation(s):\n%s", n, buf.String())
+	}
+}
+
+// TestAllowDirectiveForOtherCheckIsNotUnknown verifies that a subset run
+// does not misreport a directive naming a different registered check.
+func TestAllowDirectiveForOtherCheckIsNotUnknown(t *testing.T) {
+	// The determinism fixture's allowed package carries determinism
+	// directives; running only seedflow over it must yield no "lint"
+	// diagnostics about unknown checks.
+	root, err := filepath.Abs(filepath.Join("testdata", "determinism"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunAnalyzers(pkgs, []*Analyzer{analyzerByName(t, "seedflow")}) {
+		if d.Check == "lint" && strings.Contains(d.Message, "unknown check") {
+			t.Errorf("directive for registered check misreported: %s", d.Message)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errdrop flags silently discarded error returns from module-local
+// functions — the call sites PR 1 turned into a risk surface when
+// harness.Run / RunMulti / RunFaulted started returning errors. A
+// dropped error there means an experiment silently reports a partial
+// or nil result. Stdlib calls are out of scope (fmt.Println's error is
+// noise); our own API's errors are not.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "no ignored error results from module-local functions",
+	Run:  runErrdrop,
+}
+
+func runErrdrop(p *Pass) {
+	info := p.Pkg.Info
+	mod := p.Pkg.ModPath
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+					checkDiscardedCall(p, info, mod, call)
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(p, info, mod, n.Call)
+			case *ast.DeferStmt:
+				checkDiscardedCall(p, info, mod, n.Call)
+			case *ast.AssignStmt:
+				checkBlankErrAssign(p, info, mod, n)
+			}
+			return true
+		})
+	}
+}
+
+// moduleCallee resolves call to a module-local function or method, or
+// nil when the callee is foreign, a builtin or a func-typed value.
+func moduleCallee(info *types.Info, mod string, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(info, call)
+	if fn == nil || !isModuleLocal(pkgPath(fn), mod) {
+		return nil
+	}
+	return fn
+}
+
+// errResultIndices returns the positions of error-typed results.
+func errResultIndices(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var idx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// checkDiscardedCall flags statements that throw away every result of
+// an error-returning module call: bare call statements, go and defer.
+func checkDiscardedCall(p *Pass, info *types.Info, mod string, call *ast.CallExpr) {
+	fn := moduleCallee(info, mod, call)
+	if fn == nil || len(errResultIndices(fn)) == 0 {
+		return
+	}
+	p.Reportf(call.Pos(), "error result of %s.%s is discarded; handle or propagate it", fn.Pkg().Name(), fn.Name())
+}
+
+// checkBlankErrAssign flags `x, _ := f()` (and `_ = f()`) when the
+// blank identifier lands on an error result of a module call.
+func checkBlankErrAssign(p *Pass, info *types.Info, mod string, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := moduleCallee(info, mod, call)
+	if fn == nil {
+		return
+	}
+	errIdx := errResultIndices(fn)
+	for _, i := range errIdx {
+		if i >= len(as.Lhs) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			p.Reportf(as.Lhs[i].Pos(), "error result of %s.%s assigned to _; handle or propagate it", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}

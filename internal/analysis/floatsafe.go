@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Floatsafe guards the numeric hot paths feeding the SGD matrices and
+// the decision loop (internal/core, internal/sgd, internal/perf): a
+// NaN or Inf minted there propagates through reconstruction into every
+// downstream allocation. It flags equality comparisons between
+// floating-point operands (except against an exact-zero sentinel,
+// which is the guard idiom itself) and float divisions whose
+// denominator has no reachable zero guard in the enclosing function.
+// Test files are exempt: determinism tests legitimately assert exact
+// float equality.
+var Floatsafe = &Analyzer{
+	Name: "floatsafe",
+	Doc:  "no float equality and no unguarded float division in numeric hot paths",
+	Run:  runFloatsafe,
+}
+
+// floatsafeScopes are the hot-path packages the check applies to, as
+// import-path segments.
+var floatsafeScopes = []string{"internal/core", "internal/sgd", "internal/perf"}
+
+func runFloatsafe(p *Pass) {
+	if p.Pkg.ForTest {
+		return
+	}
+	inScope := false
+	for _, seg := range floatsafeScopes {
+		if hasPathSegment(p.Pkg.Path, seg) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncFloats(p, fd.Body)
+		}
+	}
+}
+
+func checkFuncFloats(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	guards := collectGuards(info, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.EQL, token.NEQ:
+			if isFloat(info.TypeOf(be.X)) && isFloat(info.TypeOf(be.Y)) &&
+				!isZeroConst(info, be.X) && !isZeroConst(info, be.Y) {
+				p.Reportf(be.Pos(), "floating-point %s comparison; use a tolerance or compare against an exact-zero sentinel", be.Op)
+			}
+		case token.QUO:
+			if !isFloat(info.TypeOf(be)) {
+				return true
+			}
+			if den := unparen(be.Y); !divisionGuarded(info, guards, den) {
+				p.Reportf(be.Pos(), "float division by %q with no reachable zero guard in this function", types.ExprString(den))
+			}
+		}
+		return true
+	})
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to 0.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[unparen(e)]
+	return ok && tv.Value != nil && constant.Sign(tv.Value) == 0
+}
+
+// isNonzeroConst reports whether e is a compile-time constant != 0.
+func isNonzeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[unparen(e)]
+	return ok && tv.Value != nil && constant.Sign(tv.Value) != 0
+}
+
+// collectGuards gathers, over the whole function body, the string form
+// of every expression that participates in a comparison or is passed
+// to math.IsNaN / math.IsInf — the witnesses that the function thinks
+// about degenerate values at all, which is what "reachable zero guard"
+// means at lint precision.
+func collectGuards(info *types.Info, body *ast.BlockStmt) map[string]bool {
+	guards := map[string]bool{}
+	add := func(e ast.Expr) {
+		e = stripConversions(info, unparen(e))
+		guards[types.ExprString(e)] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				add(n.X)
+				add(n.Y)
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && pkgPath(fn) == "math" {
+				switch fn.Name() {
+				case "IsNaN", "IsInf":
+					for _, arg := range n.Args {
+						add(arg)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return guards
+}
+
+// divisionGuarded reports whether a denominator is safe: a non-zero
+// constant, clamped via max/math.Max with a positive floor, offset by
+// a positive constant (the +epsilon regulariser), or mentioned by a
+// guard expression somewhere in the function.
+func divisionGuarded(info *types.Info, guards map[string]bool, den ast.Expr) bool {
+	if isNonzeroConst(info, den) {
+		return true
+	}
+	core := stripConversions(info, den)
+	if guards[types.ExprString(core)] {
+		return true
+	}
+	switch d := core.(type) {
+	case *ast.BinaryExpr:
+		// x + c or c + x with positive constant c never reaches zero
+		// for non-negative x; treat the regulariser idiom as guarded.
+		if d.Op == token.ADD && (isPositiveConst(info, d.X) || isPositiveConst(info, d.Y)) {
+			return true
+		}
+	case *ast.CallExpr:
+		if isClampCall(info, d) {
+			return true
+		}
+		// math.Sqrt(x) and math.Abs(x) are zero iff x is zero, so a
+		// guard on the argument guards the wrapped denominator too.
+		if fn := calleeFunc(info, d); fn != nil && pkgPath(fn) == "math" &&
+			(fn.Name() == "Sqrt" || fn.Name() == "Abs") && len(d.Args) == 1 {
+			return divisionGuarded(info, guards, d.Args[0])
+		}
+	}
+	return false
+}
+
+func isPositiveConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[unparen(e)]
+	return ok && tv.Value != nil && constant.Sign(tv.Value) > 0
+}
+
+// isClampCall recognises max(...) / math.Max(...) with at least one
+// positive-constant argument.
+func isClampCall(info *types.Info, call *ast.CallExpr) bool {
+	isMax := false
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "max" {
+			isMax = true
+		}
+	}
+	if fn := calleeFunc(info, call); fn != nil && pkgPath(fn) == "math" && fn.Name() == "Max" {
+		isMax = true
+	}
+	if !isMax {
+		return false
+	}
+	for _, arg := range call.Args {
+		if isPositiveConst(info, arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// stripConversions unwraps type conversions (e.g. float64(len(xs)) →
+// len(xs)) so guards written on the underlying value match.
+func stripConversions(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		call, ok := unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return unparen(e)
+		}
+		tv, ok := info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return unparen(e)
+		}
+		e = call.Args[0]
+	}
+}

@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked unit of analysis: either the ordinary
+// files of a directory, its in-package _test.go files, or its external
+// _test package. Files holds only the ASTs the analyzers should walk;
+// Info always covers the whole compiled unit so types resolve.
+type Package struct {
+	Path    string // import path, e.g. "cuttlesys/internal/core"
+	ModPath string // module path of the enclosing module
+	Dir     string // absolute directory
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	ForTest bool // Files are _test.go files
+}
+
+// Loader type-checks every package of a module using only the standard
+// library: module-local imports are resolved by parsing the package
+// directory, everything else falls back to the GOROOT source importer.
+// It deliberately avoids golang.org/x/tools so the linter has zero
+// dependencies beyond the toolchain.
+type Loader struct {
+	Root    string // module root (directory containing go.mod)
+	ModPath string
+	Fset    *token.FileSet
+
+	std  types.ImporterFrom
+	pure map[string]*unit // per-path compile cache, non-test files only
+	busy map[string]bool  // import-cycle detection
+}
+
+// unit is one compiled set of non-test files. Caching the whole unit —
+// not just the types.Package — guarantees every import path has
+// exactly one type identity no matter whether it is reached first as a
+// dependency or by the directory walk.
+type unit struct {
+	pkg   *types.Package
+	info  *types.Info
+	files []*ast.File
+}
+
+// NewLoader prepares a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := moduleName(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		Root:    root,
+		ModPath: modPath,
+		Fset:    fset,
+		std:     std,
+		pure:    map[string]*unit{},
+		busy:    map[string]bool{},
+	}, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+	}
+}
+
+func moduleName(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// LoadAll type-checks every package under the module root, in path
+// order, returning one Package per compiled unit (ordinary files,
+// in-package tests, external test package).
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		// A nested go.mod starts a different module.
+		if path != l.Root {
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		units, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}
+
+// importPathFor maps a directory under the module root to its path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// parseDir parses the directory's buildable files into three sets:
+// ordinary files, in-package test files, and external (_test package)
+// test files.
+func (l *Loader) parseDir(dir string) (base, intest, xtest []*ast.File, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if !buildIncluded(f) {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			xtest = append(xtest, f)
+		case strings.HasSuffix(name, "_test.go"):
+			intest = append(intest, f)
+		default:
+			base = append(base, f)
+		}
+	}
+	return base, intest, xtest, nil
+}
+
+// buildIncluded evaluates a file's //go:build constraint for the host
+// platform with no extra tags set (so e.g. `//go:build race` files are
+// excluded and `//go:build !race` files included, matching the default
+// build the linter certifies).
+func buildIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+			})
+		}
+	}
+	return true
+}
+
+// loadDir compiles and packages every unit in one directory.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	base, intest, xtest, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == 0 && len(intest) == 0 && len(xtest) == 0 {
+		return nil, nil
+	}
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+
+	if len(base) > 0 {
+		u, err := l.loadBase(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path: path, ModPath: l.ModPath, Dir: dir, Fset: l.Fset,
+			Files: u.files, Types: u.pkg, Info: u.info,
+		})
+	}
+	if len(intest) > 0 {
+		tpkg, info, err := l.check(path, append(append([]*ast.File{}, base...), intest...))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path: path, ModPath: l.ModPath, Dir: dir, Fset: l.Fset,
+			Files: intest, Types: tpkg, Info: info, ForTest: true,
+		})
+	}
+	if len(xtest) > 0 {
+		tpkg, info, err := l.check(path+"_test", xtest)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path: path + "_test", ModPath: l.ModPath, Dir: dir, Fset: l.Fset,
+			Files: xtest, Types: tpkg, Info: info, ForTest: true,
+		})
+	}
+	return pkgs, nil
+}
+
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return tpkg, info, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local packages are
+// compiled (non-test files only) on demand; everything else goes to
+// the GOROOT source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		u, err := l.loadBase(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.pkg, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// loadBase compiles (once) the non-test files of a module-local
+// import path.
+func (l *Loader) loadBase(path string) (*unit, error) {
+	if u, ok := l.pure[path]; ok {
+		return u, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	base, _, _, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable files in %s", dir)
+	}
+	tpkg, info, err := l.check(path, base)
+	if err != nil {
+		return nil, err
+	}
+	u := &unit{pkg: tpkg, info: info, files: base}
+	l.pure[path] = u
+	return u, nil
+}

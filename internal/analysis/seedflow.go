@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Seedflow enforces single-origin randomness: every RNG stream in the
+// repository must descend from internal/rng (frozen PCG, splittable
+// per-worker streams), so a run is exactly reproducible from its seed
+// regardless of Go release. Outside a package whose import path ends
+// in internal/rng it is an error to import math/rand, math/rand/v2 or
+// crypto/rand, or to construct or seed a rand source.
+var Seedflow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "all RNG streams must originate from internal/rng",
+	Run:  runSeedflow,
+}
+
+// randPackages are the stdlib randomness sources that bypass the
+// frozen generator.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runSeedflow(p *Pass) {
+	if strings.HasSuffix(strings.TrimSuffix(p.Pkg.Path, "_test"), "internal/rng") {
+		return // the one package allowed to wrap stdlib randomness
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if randPackages[path] {
+				p.Reportf(imp.Pos(), "import of %s outside internal/rng; all randomness must flow through internal/rng", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || hasReceiver(fn) {
+				return true
+			}
+			path := pkgPath(fn)
+			if (path == "math/rand" || path == "math/rand/v2") && seedflowFuncs[fn.Name()] {
+				p.Reportf(call.Pos(), "%s.%s constructs or seeds a rand source outside internal/rng", pathBase(path), fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,9 @@
+// Package allowed demonstrates a waived errdrop finding.
+package allowed
+
+import "fixture/lib"
+
+// BestEffort documents why the dropped error is acceptable.
+func BestEffort() {
+	lib.Run() //lint:allow errdrop best-effort cleanup; failure is acceptable here
+}

@@ -1,0 +1,12 @@
+// Package bad drops module-local errors three different ways.
+package bad
+
+import "fixture/lib"
+
+// Discard loses every error lib reports.
+func Discard() int {
+	lib.Run()
+	v, _ := lib.Compute()
+	go lib.Run()
+	return v
+}

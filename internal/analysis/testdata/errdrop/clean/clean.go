@@ -1,0 +1,21 @@
+// Package clean handles or propagates every module-local error.
+package clean
+
+import (
+	"fmt"
+
+	"fixture/lib"
+)
+
+// Propagate wraps and forwards.
+func Propagate() (int, error) {
+	if err := lib.Run(); err != nil {
+		return 0, fmt.Errorf("run: %w", err)
+	}
+	return lib.Compute()
+}
+
+// Stdlib errors are out of errdrop's scope: this is not a finding.
+func Stdlib() {
+	fmt.Println("ok")
+}

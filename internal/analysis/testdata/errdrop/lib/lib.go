@@ -1,0 +1,13 @@
+// Package lib is the fixture's module-local error-returning API.
+package lib
+
+import "errors"
+
+// ErrBoom is the canonical failure.
+var ErrBoom = errors.New("boom")
+
+// Run fails unconditionally.
+func Run() error { return ErrBoom }
+
+// Compute returns a value and an error.
+func Compute() (int, error) { return 0, ErrBoom }

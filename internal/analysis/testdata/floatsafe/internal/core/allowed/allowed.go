@@ -1,0 +1,8 @@
+// Package allowed demonstrates a waived floatsafe finding.
+package allowed
+
+// Reciprocal's callers guarantee x > 0; the waiver records that.
+func Reciprocal(x float64) float64 {
+	//lint:allow floatsafe every caller passes a strictly positive x by construction
+	return 1 / x
+}

@@ -1,0 +1,14 @@
+// Package bad mints NaN/Inf on degenerate input.
+package bad
+
+// Mean divides by an unguarded length: NaN on an empty slice.
+func Mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Same compares computed floats for exact equality.
+func Same(a, b float64) bool { return a == b }

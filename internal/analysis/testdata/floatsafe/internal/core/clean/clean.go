@@ -1,0 +1,27 @@
+// Package clean shows the guard idioms floatsafe recognises.
+package clean
+
+// Mean guards the zero denominator with an early return.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Ratio clamps the denominator away from zero.
+func Ratio(a, b float64) float64 { return a / max(b, 1e-9) }
+
+// Regularised offsets the denominator by a positive epsilon.
+func Regularised(a, b float64) float64 { return a / (b + 1e-12) }
+
+// IsUnset compares against the exact-zero sentinel — the guard idiom
+// itself, and therefore exempt.
+func IsUnset(x float64) bool { return x == 0 }
+
+// Half divides by a non-zero constant.
+func Half(x float64) float64 { return x / 2 }

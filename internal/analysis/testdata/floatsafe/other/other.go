@@ -1,0 +1,10 @@
+// Package other sits outside the floatsafe hot-path scope
+// (internal/core, internal/sgd, internal/perf): nothing here is
+// flagged even though it breaks both rules.
+package other
+
+// Same would be a finding inside the scope.
+func Same(a, b float64) bool { return a == b }
+
+// Div would be a finding inside the scope.
+func Div(a, b float64) float64 { return a / b }

@@ -1,0 +1,10 @@
+// Package allowed demonstrates a waived seedflow dependency.
+package allowed
+
+//lint:allow seedflow retry jitter only; never reaches seeded reports
+import "math/rand"
+
+// Source is deliberate and documented, so the finding is waived.
+//
+//lint:allow seedflow retry jitter only; never reaches seeded reports
+func Source(seed int64) rand.Source { return rand.NewSource(seed) }

@@ -1,0 +1,19 @@
+// Package bad constructs rand sources outside internal/rng.
+package bad
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+)
+
+// Source builds a parallel stream the seed cannot replay.
+func Source(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Token draws OS entropy, untraceable to any seed.
+func Token() []byte {
+	b := make([]byte, 8)
+	if _, err := crand.Read(b); err != nil {
+		panic(err)
+	}
+	return b
+}

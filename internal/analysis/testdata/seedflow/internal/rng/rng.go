@@ -1,0 +1,8 @@
+// Package rng is the fixture's single randomness origin: a package
+// whose import path ends in internal/rng may wrap stdlib rand.
+package rng
+
+import "math/rand"
+
+// New constructs the one legal stdlib rand source.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

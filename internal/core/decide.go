@@ -328,7 +328,7 @@ func (rt *Runtime) scanQoS(sv *svcState, k int, lat, pwr, svc *sgd.Prediction, q
 		// Predictions for configurations the service has never been
 		// measured on carry extra error, so they are derated by a
 		// probe margin before the check.
-		if !rt.p.DisableUtilVeto {
+		if !rt.p.DisableUtilVeto && sv.cores > 0 {
 			predUtil := qps * svcRow[j] * 1e-3 / float64(sv.cores)
 			if !rt.svcM.Known(rt.latRow(k), j) {
 				predUtil *= rt.p.ProbeMargin
@@ -345,6 +345,7 @@ func (rt *Runtime) scanQoS(sv *svcState, k int, lat, pwr, svc *sgd.Prediction, q
 		switch {
 		case cur.Cache < inc.Cache:
 			bestIdx = j
+		//lint:allow floatsafe config.Cache is a discrete enum encoded as float64; equality is identity
 		case cur.Cache == inc.Cache &&
 			pwr.At(rt.lcPowerRow(k), j) < pwr.At(rt.lcPowerRow(k), bestIdx):
 			bestIdx = j
@@ -380,7 +381,8 @@ func (rt *Runtime) relocate(sv *svcState, k int, svcPred *sgd.Prediction, qps fl
 	// Post-yield utilisation at the current configuration must keep
 	// headroom below the veto threshold.
 	svcMs := svcPred.At(rt.latRow(k), sv.lastRes.Index())
-	if qps*svcMs*1e-3/float64(sv.cores-1) > 0.9*rt.p.MaxUtil {
+	postCores := float64(sv.cores - 1)
+	if postCores <= 0 || qps*svcMs*1e-3/postCores > 0.9*rt.p.MaxUtil {
 		return
 	}
 	sv.cores--
@@ -407,6 +409,7 @@ func (rt *Runtime) objective(thr, pwr *sgd.Prediction, lcRes []config.Resource, 
 	lcHalf := 0
 	for k, sv := range rt.svcs {
 		fixedPower += float64(sv.cores) * sv.predPwr
+		//lint:allow floatsafe config.Cache is a discrete enum encoded as float64; equality is identity
 		if lcRes[k].Cache == config.HalfWay {
 			lcHalf++
 		} else {

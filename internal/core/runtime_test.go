@@ -216,8 +216,8 @@ func TestMultiServiceQoS(t *testing.T) {
 	// services, as long as the system is not oversubscribed." Two
 	// services (xapian + silo) on 8 cores each plus 16 batch jobs: both
 	// must meet QoS while the batch side still makes progress.
-	xapian, _ := workload.ByName("xapian")
-	silo, _ := workload.ByName("silo")
+	xapian := mustApp(t, "xapian")
+	silo := mustApp(t, "silo")
 	_, test := workload.SplitTrainTest(1, 16)
 	m := sim.New(sim.Spec{
 		Seed:           21,
@@ -262,8 +262,8 @@ func TestMultiServiceQoS(t *testing.T) {
 
 func TestMultiServiceRelocation(t *testing.T) {
 	// Overload only the second service: it alone should reclaim cores.
-	moses, _ := workload.ByName("moses")
-	silo, _ := workload.ByName("silo")
+	moses := mustApp(t, "moses")
+	silo := mustApp(t, "silo")
 	_, test := workload.SplitTrainTest(1, 16)
 	m := sim.New(sim.Spec{
 		Seed:           22,
@@ -285,4 +285,15 @@ func TestMultiServiceRelocation(t *testing.T) {
 	if !grew {
 		t.Fatal("overloaded extra service never reclaimed cores")
 	}
+}
+
+// mustApp resolves a workload profile by name, failing the test on a
+// bad name so the error is never silently dropped.
+func mustApp(t testing.TB, name string) *workload.Profile {
+	t.Helper()
+	app, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
 }

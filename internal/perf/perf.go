@@ -115,9 +115,16 @@ func (m *Model) IPCAtFreq(app *workload.Profile, c config.Core, ways float64, me
 	lsqCap := 1 + float64(config.LSQSize(c.LS))/8.0
 	robCap := 1 + float64(config.ROBSize(c.FE))/16.0
 	effMLP := math.Min(app.MLP, math.Min(lsqCap, robCap))
+	if effMLP <= 0 { // malformed profile (MLP ≤ 0): avoid minting Inf/NaN
+		effMLP = 1e-9
+	}
 	cpiMem := app.MemFrac * app.L1MissRate * avgLat / effMLP
 
-	return 1 / (cpiCompute + cpiBranch + cpiMem)
+	cpi := cpiCompute + cpiBranch + cpiMem
+	if cpi <= 0 { // degenerate profile: report zero throughput, not Inf
+		return 0
+	}
+	return 1 / cpi
 }
 
 // BIPS returns billions of instructions per second for app on core c —
@@ -150,6 +157,9 @@ func (m *Model) QueryInstr(app *workload.Profile) float64 {
 	if !app.IsLC() {
 		panic("perf: QueryInstr on a batch application")
 	}
+	if app.MaxQPS <= 0 {
+		panic("perf: QueryInstr on a service without a max-QPS knee")
+	}
 	ipc := m.IPC(app, config.Widest, config.FourWays.Ways(), 1)
 	return app.SatUtil * 16 * ipc * m.FreqGHz() * 1e9 / app.MaxQPS
 }
@@ -159,5 +169,9 @@ func (m *Model) QueryInstr(app *workload.Profile) float64 {
 // ways. The per-query distribution around this mean is log-normal with
 // the profile's QuerySigma (applied by the queueing simulator).
 func (m *Model) ServiceTime(app *workload.Profile, c config.Core, ways float64, memInflation float64) float64 {
-	return m.QueryInstr(app) / (m.IPC(app, c, ways, memInflation) * m.FreqGHz() * 1e9)
+	ips := m.IPC(app, c, ways, memInflation) * m.FreqGHz() * 1e9
+	if ips <= 0 { // zero throughput: the service never completes a query
+		return math.Inf(1)
+	}
+	return m.QueryInstr(app) / ips
 }

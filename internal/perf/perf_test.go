@@ -159,8 +159,8 @@ func TestBIPSConsistentWithIPC(t *testing.T) {
 
 func TestDRAMTraffic(t *testing.T) {
 	m := model()
-	mcf, _ := workload.ByName("mcf")
-	gamess, _ := workload.ByName("gamess")
+	mcf := mustApp(t, "mcf")
+	gamess := mustApp(t, "gamess")
 	if tm, tg := m.DRAMTrafficGBs(mcf, config.Widest, 1, 1), m.DRAMTrafficGBs(gamess, config.Widest, 1, 1); tm <= tg {
 		t.Fatalf("mcf traffic %v should exceed gamess traffic %v", tm, tg)
 	}
@@ -229,8 +229,8 @@ func TestIPCAtFreqMemoryBoundBenefit(t *testing.T) {
 	// memory-bound applications lose less than frequency-proportional
 	// throughput while compute-bound ones lose almost exactly f.
 	m := model()
-	mcf, _ := workload.ByName("mcf")
-	gamess, _ := workload.ByName("gamess")
+	mcf := mustApp(t, "mcf")
+	gamess := mustApp(t, "gamess")
 	ratio := func(app *workload.Profile) float64 {
 		lo := m.IPCAtFreq(app, config.Widest, 2, 1, 2.4) * 2.4
 		hi := m.IPCAtFreq(app, config.Widest, 2, 1, 4.0) * 4.0
@@ -251,4 +251,15 @@ func TestIPCMatchesIPCAtFreqAtNominal(t *testing.T) {
 	if m.IPC(app, config.Widest, 2, 1) != m.IPCAtFreq(app, config.Widest, 2, 1, m.FreqGHz()) {
 		t.Fatal("IPC must be IPCAtFreq at the design clock")
 	}
+}
+
+// mustApp resolves a workload profile by name, failing the test on a
+// bad name so the error is never silently dropped.
+func mustApp(t testing.TB, name string) *workload.Profile {
+	t.Helper()
+	app, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
 }

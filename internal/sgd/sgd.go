@@ -130,7 +130,7 @@ type Params struct {
 }
 
 func (p Params) withDefaults() Params {
-	if p.Factors == 0 {
+	if p.Factors <= 0 {
 		p.Factors = 8
 	}
 	if p.LearningRate == 0 {
@@ -216,7 +216,7 @@ func reconstruct(m *Matrix, p Params, parallel bool) *Prediction {
 	r := rng.New(p.Seed)
 	if p.SVDInit {
 		svdInit(m, p, mu, q, pc)
-	} else {
+	} else if f > 0 { // f == 0 leaves the factor vectors empty; no init needed
 		scale := 0.1 / math.Sqrt(float64(f))
 		for i := range q {
 			q[i] = scale * r.Norm()
@@ -405,6 +405,9 @@ func svdInit(m *Matrix, p Params, mu float64, q, pc []float64) {
 				rowSum += v
 				rowN++
 			}
+		}
+		if rowN == 0 {
+			continue // cannot happen: dense rows have ≥ Cols/4 known entries
 		}
 		rowMean := rowSum / float64(rowN)
 		for j := 0; j < m.Cols; j++ {

@@ -43,7 +43,7 @@ func TestMachineConstruction(t *testing.T) {
 }
 
 func TestNewPanicsOnBadSpec(t *testing.T) {
-	lc, _ := workload.ByName("xapian")
+	lc := mustApp(t, "xapian")
 	batch := workload.SPEC()[:2]
 	cases := []Spec{
 		{Batch: []*workload.Profile{lc}},                     // LC listed as batch
@@ -173,8 +173,8 @@ func TestTailLatencyLoadDependence(t *testing.T) {
 func TestBandwidthContention(t *testing.T) {
 	// A machine full of memory-bound jobs should converge to inflation
 	// above 1; compute-bound jobs should not.
-	mcf, _ := workload.ByName("mcf")
-	gamess, _ := workload.ByName("gamess")
+	mcf := mustApp(t, "mcf")
+	gamess := mustApp(t, "gamess")
 	mk := func(app *workload.Profile) float64 {
 		jobs := make([]*workload.Profile, 32)
 		for i := range jobs {
@@ -315,7 +315,7 @@ func TestBatchSurfaces(t *testing.T) {
 
 func TestLCSurfaces(t *testing.T) {
 	pm, wm := perf.New(true), power.New(true)
-	app, _ := workload.ByName("silo")
+	app := mustApp(t, "silo")
 	lat, pwr := LCSurfaces(pm, wm, app, 16, 0.8, 1, 0.5, 1)
 	if len(lat) != config.NumResources || len(pwr) != config.NumResources {
 		t.Fatal("surface lengths wrong")
@@ -389,8 +389,8 @@ func TestAllocationPropertyWaysBudget(t *testing.T) {
 }
 
 func TestMultiServiceMachine(t *testing.T) {
-	xapian, _ := workload.ByName("xapian")
-	silo, _ := workload.ByName("silo")
+	xapian := mustApp(t, "xapian")
+	silo := mustApp(t, "silo")
 	_, test := workload.SplitTrainTest(1, 16)
 	m := New(Spec{
 		Seed: 20, LC: xapian, ExtraLCs: []*workload.Profile{silo},
@@ -419,8 +419,8 @@ func TestMultiServiceMachine(t *testing.T) {
 }
 
 func TestRunPanicsOnMultiServiceMachine(t *testing.T) {
-	xapian, _ := workload.ByName("xapian")
-	silo, _ := workload.ByName("silo")
+	xapian := mustApp(t, "xapian")
+	silo := mustApp(t, "silo")
 	m := New(Spec{Seed: 1, LC: xapian, ExtraLCs: []*workload.Profile{silo}, Reconfigurable: true})
 	defer func() {
 		if recover() == nil {
@@ -432,8 +432,8 @@ func TestRunPanicsOnMultiServiceMachine(t *testing.T) {
 }
 
 func TestMultiServiceValidation(t *testing.T) {
-	xapian, _ := workload.ByName("xapian")
-	silo, _ := workload.ByName("silo")
+	xapian := mustApp(t, "xapian")
+	silo := mustApp(t, "silo")
 	m := New(Spec{Seed: 1, LC: xapian, ExtraLCs: []*workload.Profile{silo}, Reconfigurable: true})
 	good := Uniform(0, true, 8, config.Widest, config.OneWay)
 	good.ExtraLC = []LCAssign{{Cores: 8, Core: config.Widest, Cache: config.OneWay}}
@@ -464,8 +464,8 @@ func TestMultiServiceValidation(t *testing.T) {
 
 func TestExtraServiceSharesPowerAndCache(t *testing.T) {
 	// Adding a second service must raise chip power and consume ways.
-	xapian, _ := workload.ByName("xapian")
-	silo, _ := workload.ByName("silo")
+	xapian := mustApp(t, "xapian")
+	silo := mustApp(t, "silo")
 	m1 := New(Spec{Seed: 5, LC: xapian, Reconfigurable: true, InitLCCores: 8})
 	a1 := Uniform(0, true, 8, config.Widest, config.FourWays)
 	p1 := m1.Run(a1, 0.1, 0.4*xapian.MaxQPS)
@@ -480,4 +480,15 @@ func TestExtraServiceSharesPowerAndCache(t *testing.T) {
 	if got := a2.TotalWays(true); got != 8 {
 		t.Fatalf("two four-way services should consume 8 ways, got %v", got)
 	}
+}
+
+// mustApp resolves a workload profile by name, failing the test on a
+// bad name so the error is never silently dropped.
+func mustApp(t testing.TB, name string) *workload.Profile {
+	t.Helper()
+	app, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
 }

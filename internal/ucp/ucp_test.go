@@ -34,8 +34,8 @@ func TestSumsToBudget(t *testing.T) {
 }
 
 func TestCacheHungryAppsWinWays(t *testing.T) {
-	mcf, _ := workload.ByName("mcf")       // large working set, memory-bound
-	gamess, _ := workload.ByName("gamess") // tiny working set
+	mcf := mustApp(t, "mcf")       // large working set, memory-bound
+	gamess := mustApp(t, "gamess") // tiny working set
 	curves := []Curve{curveFor(mcf), curveFor(gamess)}
 	alloc := Partition(curves, 16, 1)
 	if alloc[0] <= alloc[1] {
@@ -45,7 +45,7 @@ func TestCacheHungryAppsWinWays(t *testing.T) {
 
 func TestZeroWeightGetsMinimum(t *testing.T) {
 	flat := Curve{MissRatio: func(float64) float64 { return 0.5 }, Weight: 0}
-	hungry := curveFor(func() *workload.Profile { p, _ := workload.ByName("mcf"); return p }())
+	hungry := curveFor(func() *workload.Profile { p := mustApp(t, "mcf"); return p }())
 	alloc := Partition([]Curve{flat, hungry}, 10, 1)
 	if alloc[0] != 1 {
 		t.Fatalf("zero-weight app got %d ways, want the minimum 1", alloc[0])
@@ -127,4 +127,15 @@ func TestPartitionProperty(t *testing.T) {
 	}, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustApp resolves a workload profile by name, failing the test on a
+// bad name so the error is never silently dropped.
+func mustApp(t testing.TB, name string) *workload.Profile {
+	t.Helper()
+	app, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
 }
