@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench chaos lint fmt ci
+.PHONY: build test race vet bench chaos fleet lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,7 @@ ci: build vet fmt test race lint
 # Regenerate the seeded resilience report (see EXPERIMENTS.md).
 chaos:
 	$(GO) run ./cmd/chaos -seed 1 -slices 30 -o BENCH_resilience.json
+
+# Regenerate the seeded cluster fleet report (see EXPERIMENTS.md).
+fleet:
+	$(GO) run ./cmd/fleet -seed 1 -machines 4 -slices 12 -o BENCH_fleet.json

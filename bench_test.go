@@ -7,6 +7,7 @@ package cuttlesys_test
 // reproduced numbers. Paper-scale runs live in the cmd/ tools.
 
 import (
+	"fmt"
 	"testing"
 
 	"cuttlesys"
@@ -229,6 +230,66 @@ func BenchmarkTrainingSetSweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(err16, "err16-pct")
+}
+
+// benchFleet assembles an n-machine fleet of full CuttleSys runtimes
+// stepped by the given worker count (0 = one goroutine per machine).
+func benchFleet(b *testing.B, n, workers int) *cuttlesys.Fleet {
+	b.Helper()
+	lc, err := cuttlesys.AppByName("xapian")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, pool := cuttlesys.SplitTrainTest(1, 16)
+	seeds := cuttlesys.FleetSeeds(1, n)
+	nodes := make([]cuttlesys.FleetNode, n)
+	for i := 0; i < n; i++ {
+		m := cuttlesys.NewMachine(cuttlesys.MachineSpec{
+			Seed: seeds[i], LC: lc, Batch: cuttlesys.Mix(seeds[i], pool, 16), Reconfigurable: true,
+		})
+		nodes[i] = cuttlesys.FleetNode{
+			Machine:   m,
+			Scheduler: cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: seeds[i], SGD: cuttlesys.SGDParams{Workers: 1}}),
+		}
+	}
+	f, err := cuttlesys.NewFleet(cuttlesys.FleetConfig{
+		Router: cuttlesys.LeastLoadedRouter{}, Arbiter: cuttlesys.HeadroomArbiter{}, Workers: workers,
+	}, nodes...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkFleetStepping times one decision quantum of cluster-scale
+// stepping at 1, 4 and 16 machines, serial (one stepping goroutine)
+// vs parallel (one per machine). The wall-clock serial/parallel ratio
+// is host-dependent — it approaches the machine count on wide hosts
+// and 1 on a single-CPU host; the deterministic modeled controller
+// speedup is recorded in BENCH_fleet.json's scaling section.
+func BenchmarkFleetStepping(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(fmt.Sprintf("machines=%d/%s", n, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					f := benchFleet(b, n, mode.workers)
+					b.StartTimer()
+					res, err := f.Run(2, cuttlesys.ConstantLoad(0.7), cuttlesys.ConstantBudget(0.65))
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					b.ReportMetric(res.ModeledControllerSpeedup(), "modeled-speedup")
+					f.Close()
+					b.StartTimer()
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkDecisionQuantum times one full CuttleSys decision — profile

@@ -1,0 +1,270 @@
+// Command fleet is the cluster sweep: it simulates N CuttleSys
+// machines behind a traffic router under one shared power budget and
+// compares routing/arbitration policies across cluster scenarios — a
+// steady backlog, a diurnal swing, a machine degraded by fail-stop
+// core faults, and a datacenter budget squeeze. It emits a JSON fleet
+// report: QoS-met fraction, fleet throughput, worst tail ratio, power
+// and the modeled controller speedup of parallel per-machine
+// scheduling, plus a scaling section over fleet sizes.
+//
+// Every run is deterministic: a fixed -seed produces a byte-identical
+// report regardless of GOMAXPROCS, because machine stepping merges in
+// index order and each machine's SGD runs single-worker.
+//
+// Usage:
+//
+//	fleet [-service xapian] [-machines 4] [-slices 12] [-load 0.7]
+//	      [-cap 0.65] [-seed 1] [-o report.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"cuttlesys"
+)
+
+// scenario is one cluster environment: load and budget patterns plus
+// an optional fault schedule targeting one machine.
+type scenario struct {
+	name   string
+	load   func(slices int) cuttlesys.LoadPattern
+	budget func(slices int) cuttlesys.BudgetPattern
+	// faultMachine receives the events; -1 means no faults.
+	faultMachine int
+	events       []cuttlesys.FaultEvent
+}
+
+// window returns the middle third of a run in seconds.
+func window(slices int) (from, to float64) {
+	span := float64(slices) * cuttlesys.SliceDur
+	return span / 3, 2 * span / 3
+}
+
+func scenarios(load, capFrac float64) []scenario {
+	return []scenario{
+		{
+			name:         "steady",
+			load:         func(int) cuttlesys.LoadPattern { return cuttlesys.ConstantLoad(load) },
+			budget:       func(int) cuttlesys.BudgetPattern { return cuttlesys.ConstantBudget(capFrac) },
+			faultMachine: -1,
+		},
+		{
+			name: "diurnal",
+			load: func(slices int) cuttlesys.LoadPattern {
+				return cuttlesys.DiurnalLoad(load*0.5, math.Min(load*1.25, 0.95), float64(slices)*cuttlesys.SliceDur)
+			},
+			budget:       func(int) cuttlesys.BudgetPattern { return cuttlesys.ConstantBudget(capFrac) },
+			faultMachine: -1,
+		},
+		{
+			name:         "degraded-node",
+			load:         func(int) cuttlesys.LoadPattern { return cuttlesys.ConstantLoad(load) },
+			budget:       func(int) cuttlesys.BudgetPattern { return cuttlesys.ConstantBudget(capFrac) },
+			faultMachine: 1,
+			events: []cuttlesys.FaultEvent{
+				{Kind: cuttlesys.CoreFailStop, Start: 0.3, End: 0.9, Cores: 8, BatchCores: 2},
+			},
+		},
+		{
+			name: "budget-squeeze",
+			load: func(int) cuttlesys.LoadPattern { return cuttlesys.ConstantLoad(load) },
+			budget: func(slices int) cuttlesys.BudgetPattern {
+				from, to := window(slices)
+				return cuttlesys.StepBudget(capFrac, capFrac*0.65, from, to)
+			},
+			faultMachine: -1,
+		},
+	}
+}
+
+// policy pairs a router with a budget arbiter.
+type policy struct {
+	name    string
+	router  func() cuttlesys.Router
+	arbiter func() cuttlesys.Arbiter
+}
+
+func fleetPolicies() []policy {
+	return []policy{
+		{"uniform/proportional",
+			func() cuttlesys.Router { return cuttlesys.UniformRouter{} },
+			func() cuttlesys.Arbiter { return cuttlesys.ProportionalArbiter{} }},
+		{"least-loaded/proportional",
+			func() cuttlesys.Router { return cuttlesys.LeastLoadedRouter{} },
+			func() cuttlesys.Arbiter { return cuttlesys.ProportionalArbiter{} }},
+		{"qos-aware/headroom",
+			func() cuttlesys.Router { return &cuttlesys.QoSAwareRouter{} },
+			func() cuttlesys.Arbiter { return cuttlesys.HeadroomArbiter{} }},
+	}
+}
+
+// PolicyReport is one (scenario, policy) cell. Field order is the
+// JSON order; floats are rounded so the report is byte-stable.
+type PolicyReport struct {
+	Policy                   string  `json:"policy"`
+	QoSMetFrac               float64 `json:"qosMetFrac"`
+	QoSViolations            int     `json:"qosViolations"`
+	WorstP99Ratio            float64 `json:"worstP99Ratio"`
+	TotalInstrB              float64 `json:"totalInstrB"`
+	MeanPowerW               float64 `json:"meanPowerW"`
+	ModeledControllerSpeedup float64 `json:"modeledControllerSpeedup"`
+}
+
+// ScenarioReport groups the policies under one cluster environment.
+type ScenarioReport struct {
+	Scenario string         `json:"scenario"`
+	Policies []PolicyReport `json:"policies"`
+}
+
+// ScalingPoint is one fleet size of the scaling section: the modeled
+// controller speedup of stepping that many machines in parallel.
+type ScalingPoint struct {
+	Machines                 int     `json:"machines"`
+	ModeledControllerSpeedup float64 `json:"modeledControllerSpeedup"`
+}
+
+// Report is the full fleet sweep.
+type Report struct {
+	Service  string           `json:"service"`
+	Machines int              `json:"machines"`
+	Slices   int              `json:"slices"`
+	Load     float64          `json:"load"`
+	Cap      float64          `json:"cap"`
+	Seed     uint64           `json:"seed"`
+	Results  []ScenarioReport `json:"results"`
+	Scaling  []ScalingPoint   `json:"scaling"`
+}
+
+func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }
+
+func main() {
+	service := flag.String("service", "xapian", "latency-critical service (TailBench name)")
+	machines := flag.Int("machines", 4, "machines in the fleet")
+	slices := flag.Int("slices", 12, "timeslices per run")
+	load := flag.Float64("load", 0.7, "fleet offered load fraction of aggregate capacity")
+	capFrac := flag.Float64("cap", 0.65, "cluster power cap fraction of aggregate reference power")
+	seed := flag.Uint64("seed", 1, "fleet seed (machine seeds are derived per machine)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := sweep(*service, *machines, *slices, *load, *capFrac, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// buildFleet assembles n machines running the CuttleSys runtime.
+// SGD is pinned to one worker per machine so the report does not
+// depend on GOMAXPROCS; the fleet's own parallelism is across
+// machines and merges deterministically.
+func buildFleet(service string, n int, seed uint64, pol policy, faultMachine int, events []cuttlesys.FaultEvent) (*cuttlesys.Fleet, error) {
+	lc, err := cuttlesys.AppByName(service)
+	if err != nil {
+		return nil, err
+	}
+	_, pool := cuttlesys.SplitTrainTest(1, 16)
+	seeds := cuttlesys.FleetSeeds(seed, n)
+	nodes := make([]cuttlesys.FleetNode, n)
+	for i := 0; i < n; i++ {
+		m := cuttlesys.NewMachine(cuttlesys.MachineSpec{
+			Seed: seeds[i], LC: lc,
+			Batch:          cuttlesys.Mix(seeds[i], pool, 16),
+			Reconfigurable: true,
+		})
+		rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{
+			Seed: seeds[i],
+			SGD:  cuttlesys.SGDParams{Workers: 1},
+		})
+		nodes[i] = cuttlesys.FleetNode{Machine: m, Scheduler: rt}
+		if i == faultMachine%n && len(events) > 0 {
+			inj, err := cuttlesys.NewFaultSchedule(seeds[i], events...)
+			if err != nil {
+				return nil, err
+			}
+			nodes[i].Injector = inj
+		}
+	}
+	return cuttlesys.NewFleet(cuttlesys.FleetConfig{
+		Router: pol.router(), Arbiter: pol.arbiter(),
+	}, nodes...)
+}
+
+func sweep(service string, machines, slices int, load, capFrac float64, seed uint64) (*Report, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("need at least one machine, got %d", machines)
+	}
+	rep := &Report{
+		Service: service, Machines: machines, Slices: slices,
+		Load: load, Cap: capFrac, Seed: seed,
+	}
+	for _, sc := range scenarios(load, capFrac) {
+		sr := ScenarioReport{Scenario: sc.name}
+		for _, pol := range fleetPolicies() {
+			pr, err := runCell(service, machines, slices, seed, sc, pol)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", sc.name, pol.name, err)
+			}
+			sr.Policies = append(sr.Policies, pr)
+		}
+		rep.Results = append(rep.Results, sr)
+	}
+	// Scaling: the controller-side speedup of parallel stepping, from
+	// the schedulers' own charged overheads (deterministic — see
+	// FleetResult.ModeledControllerSpeedup).
+	for _, n := range []int{1, 4, 16} {
+		f, err := buildFleet(service, n, seed, fleetPolicies()[0], -1, nil)
+		if err != nil {
+			return nil, fmt.Errorf("scaling %d: %w", n, err)
+		}
+		res, err := f.Run(4, cuttlesys.ConstantLoad(load), cuttlesys.ConstantBudget(capFrac))
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("scaling %d: %w", n, err)
+		}
+		rep.Scaling = append(rep.Scaling, ScalingPoint{
+			Machines:                 n,
+			ModeledControllerSpeedup: round4(res.ModeledControllerSpeedup()),
+		})
+	}
+	return rep, nil
+}
+
+func runCell(service string, machines, slices int, seed uint64, sc scenario, pol policy) (PolicyReport, error) {
+	f, err := buildFleet(service, machines, seed, pol, sc.faultMachine, sc.events)
+	if err != nil {
+		return PolicyReport{}, err
+	}
+	defer f.Close()
+	res, err := f.Run(slices, sc.load(slices), sc.budget(slices))
+	if err != nil {
+		return PolicyReport{}, err
+	}
+	return PolicyReport{
+		Policy:                   pol.name,
+		QoSMetFrac:               round4(res.QoSMetFraction()),
+		QoSViolations:            res.QoSViolations(),
+		WorstP99Ratio:            round4(res.WorstP99Ratio()),
+		TotalInstrB:              round4(res.TotalInstrB()),
+		MeanPowerW:               round4(res.MeanPowerW()),
+		ModeledControllerSpeedup: round4(res.ModeledControllerSpeedup()),
+	}, nil
+}

@@ -36,7 +36,9 @@ import (
 	"cuttlesys/internal/config"
 	"cuttlesys/internal/core"
 	"cuttlesys/internal/fault"
+	"cuttlesys/internal/fleet"
 	"cuttlesys/internal/harness"
+	"cuttlesys/internal/sgd"
 	"cuttlesys/internal/sim"
 	"cuttlesys/internal/workload"
 )
@@ -240,3 +242,65 @@ func SplitTrainTest(seed uint64, nTrain int) (train, test []*Profile) {
 
 // Mix builds a multiprogrammed batch mix of n jobs drawn from pool.
 func Mix(seed uint64, pool []*Profile, n int) []*Profile { return workload.Mix(seed, pool, n) }
+
+// SGDParams tunes the PQ-reconstruction inside RuntimeParams.SGD.
+// Set Workers to 1 for results that are independent of GOMAXPROCS
+// (the parallel variant is HOGWILD — lock-free and order-dependent).
+type SGDParams = sgd.Params
+
+// Single lifts a single-service Scheduler into the MultiScheduler
+// interface, forwarding the resilience extensions when implemented.
+func Single(s Scheduler) MultiScheduler { return harness.Single(s) }
+
+// Fleet is a cluster of CuttleSys machines behind a traffic router
+// under one shared power budget (DESIGN.md §8).
+type Fleet = fleet.Fleet
+
+// FleetConfig tunes a Fleet (router, budget arbiter, worker count).
+type FleetConfig = fleet.Config
+
+// FleetNode describes one machine joining a Fleet.
+type FleetNode = fleet.NodeSpec
+
+// FleetTelemetry is the per-machine state routers and arbiters see.
+type FleetTelemetry = fleet.Telemetry
+
+// FleetResult aggregates a fleet run.
+type FleetResult = fleet.Result
+
+// FleetSliceRecord captures one fleet decision quantum.
+type FleetSliceRecord = fleet.SliceRecord
+
+// Router splits the fleet's offered QPS across machines each slice.
+type Router = fleet.Router
+
+// Arbiter partitions the cluster power budget across machines.
+type Arbiter = fleet.Arbiter
+
+// Routing policies.
+type (
+	// UniformRouter splits traffic equally.
+	UniformRouter = fleet.Uniform
+	// LeastLoadedRouter discounts capacity by last-slice tail latency.
+	LeastLoadedRouter = fleet.LeastLoaded
+	// QoSAwareRouter drains violating or degraded machines (AIMD).
+	QoSAwareRouter = fleet.QoSAware
+)
+
+// Budget arbiters.
+type (
+	// EqualShareArbiter gives every machine the same wattage.
+	EqualShareArbiter = fleet.EqualShare
+	// ProportionalArbiter splits by reference maximum power.
+	ProportionalArbiter = fleet.Proportional
+	// HeadroomArbiter re-partitions the cap from last-slice demand.
+	HeadroomArbiter = fleet.Headroom
+)
+
+// NewFleet assembles a cluster of machines; see fleet.New.
+func NewFleet(cfg FleetConfig, nodes ...FleetNode) (*Fleet, error) {
+	return fleet.New(cfg, nodes...)
+}
+
+// FleetSeeds derives n machine seeds from one fleet seed.
+func FleetSeeds(seed uint64, n int) []uint64 { return fleet.Seeds(seed, n) }

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+func TestFleetScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runtime sweep in -short mode")
+	}
+	s := FleetSetup{Machines: []int{1, 2}, Slices: 4}
+	rows, err := FleetScaling(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(FleetRouters) {
+		t.Fatalf("%d rows, want %d", len(rows), 2*len(FleetRouters))
+	}
+	i := 0
+	for _, n := range []int{1, 2} {
+		for _, r := range FleetRouters {
+			row := rows[i]
+			i++
+			if row.Machines != n || row.Router != r {
+				t.Fatalf("row %d is (%d, %s), want (%d, %s) — declaration order", i-1, row.Machines, row.Router, n, r)
+			}
+			if row.TotalInstrB <= 0 || row.MeanPowerW <= 0 {
+				t.Fatalf("row %+v missing accounting", row)
+			}
+			if row.QoSMetFrac < 0 || row.QoSMetFrac > 1 {
+				t.Fatalf("QoSMetFrac %v out of range", row.QoSMetFrac)
+			}
+			want := float64(n)
+			if row.ControllerSpeedup <= 0 || row.ControllerSpeedup > want+1e-9 {
+				t.Fatalf("controller speedup %v for %d machines", row.ControllerSpeedup, n)
+			}
+		}
+	}
+
+	// Determinism: the same setup reproduces the same rows.
+	again, err := FleetScaling(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range rows {
+		if rows[j] != again[j] {
+			t.Fatalf("row %d not reproducible:\n%+v\n%+v", j, rows[j], again[j])
+		}
+	}
+}

@@ -5,6 +5,8 @@ package clean
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Render prints m in sorted-key order — the sorted-keys preamble the
@@ -38,5 +40,67 @@ func PerKey(m map[string]float64) map[string]float64 {
 	for k, v := range m {
 		out[k] += v
 	}
+	return out
+}
+
+// FanOut is the sanctioned index-ordered merge: goroutines claim work
+// through an atomic cursor and write only cells named by their own
+// goroutine-local index, so the merged slice is byte-identical no
+// matter how the scheduler interleaves them.
+func FanOut(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(xs) {
+					return
+				}
+				out[i] = xs[i] * 2
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// PerCell passes the cell index as an argument: parameters are
+// goroutine-local, so each write lands in its own cell.
+func PerCell(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = xs[i] * xs[i]
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Guarded serialises its shared append with a mutex; ordering under a
+// lock is the race detector's concern, and the sort afterwards removes
+// the arrival-order dependence.
+func Guarded(xs []float64) []float64 {
+	var mu sync.Mutex
+	var out []float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, x)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sort.Float64s(out)
 	return out
 }

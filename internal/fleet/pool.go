@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cuttlesys/internal/harness"
+)
+
+// stepAll advances every machine one timeslice, fanning the work
+// across at most f.workers goroutines. This is the repo's sanctioned
+// merge pattern for parallel determinism (DESIGN.md §8): workers claim
+// machine indices off an atomic counter and write results only into
+// that machine's pre-sized cell, so no two goroutines touch the same
+// element and the merged output is byte-identical for every
+// interleaving. Each machine's step is self-contained — its inputs
+// were computed serially from last slice's telemetry before the fan-
+// out, and all cross-machine reductions happen after the join.
+func (f *Fleet) stepAll(qps, loadFrac, budgets []float64) ([]harness.SliceRecord, error) {
+	n := len(f.nodes)
+	recs := make([]harness.SliceRecord, n)
+	errs := make([]error, n)
+
+	workers := f.workers
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i, nd := range f.nodes {
+			recs[i], errs[i] = nd.d.StepSlice([]float64{qps[i]}, loadFrac[i], budgets[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					recs[i], errs[i] = f.nodes[i].d.StepSlice([]float64{qps[i]}, loadFrac[i], budgets[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fleet: machine %d: %w", i, err)
+		}
+	}
+	return recs, nil
+}

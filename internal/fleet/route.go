@@ -1,0 +1,123 @@
+package fleet
+
+import "math"
+
+// A Router splits the fleet's offered QPS across machines each slice.
+// Route must return one non-negative share per telemetry entry,
+// summing (up to float rounding) to offered; it may keep per-fleet
+// state, since the fleet calls it serially, once per slice, with
+// telemetry in machine index order. Implementations must not mutate
+// the telemetry slice.
+type Router interface {
+	Name() string
+	Route(offered float64, tele []Telemetry) []float64
+}
+
+// divide turns routing weights into absolute QPS shares. The sum runs
+// in index order (determinism), non-finite or negative weights are
+// dropped, and a degenerate weight vector falls back to an equal
+// split so traffic is always conserved.
+func divide(offered float64, w []float64) []float64 {
+	out := make([]float64, len(w))
+	sum := 0.0
+	for _, v := range w {
+		if v > 0 && !math.IsInf(v, 1) {
+			sum += v
+		}
+	}
+	if sum <= 0 || math.IsInf(sum, 1) {
+		for i := range out {
+			out[i] = offered / float64(len(w))
+		}
+		return out
+	}
+	for i, v := range w {
+		if v > 0 && !math.IsInf(v, 1) {
+			out[i] = offered * v / sum
+		}
+	}
+	return out
+}
+
+// Uniform splits traffic equally across machines, ignoring telemetry —
+// the baseline round-robin load balancer.
+type Uniform struct{}
+
+// Name implements Router.
+func (Uniform) Name() string { return "uniform" }
+
+// Route implements Router.
+func (Uniform) Route(offered float64, tele []Telemetry) []float64 {
+	w := make([]float64, len(tele))
+	for i := range w {
+		w[i] = 1
+	}
+	return divide(offered, w)
+}
+
+// LeastLoaded weights each machine by capacity discounted by how close
+// its last-slice tail latency ran to target: weight ∝ maxQPS / (1 +
+// p99/QoS). A machine whose tail is twice its target gets a third the
+// per-capacity traffic of an idle one; before any telemetry exists the
+// split is capacity-proportional.
+type LeastLoaded struct{}
+
+// Name implements Router.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Route implements Router.
+func (LeastLoaded) Route(offered float64, tele []Telemetry) []float64 {
+	w := make([]float64, len(tele))
+	for i, t := range tele {
+		w[i] = t.MaxQPS
+		if t.Valid && t.QoSMs > 0 && t.P99Ms > 0 {
+			w[i] = t.MaxQPS / (1 + t.P99Ms/t.QoSMs)
+		}
+	}
+	return divide(offered, w)
+}
+
+// QoSAware is a stateful multiplicative-decrease router: a machine
+// that violated QoS, lost cores, or entered degraded mode last slice
+// has its routing weight halved; a healthy slice recovers it by 25%
+// up to full. Shares are weight × capacity, so a big healthy machine
+// still absorbs more than a small one. The AIMD shape drains traffic
+// from a faulty node within a few slices and restores it gradually,
+// avoiding the thundering-herd flap of instant reinstatement.
+type QoSAware struct {
+	// Floor bounds how far a machine's weight can decay, keeping a
+	// trickle of traffic flowing so recovery is observable. Default
+	// 0.05.
+	Floor float64
+
+	w []float64
+}
+
+// Name implements Router.
+func (q *QoSAware) Name() string { return "qos-aware" }
+
+// Route implements Router.
+func (q *QoSAware) Route(offered float64, tele []Telemetry) []float64 {
+	floor := q.Floor
+	if floor <= 0 {
+		floor = 0.05
+	}
+	if len(q.w) != len(tele) {
+		q.w = make([]float64, len(tele))
+		for i := range q.w {
+			q.w[i] = 1
+		}
+	}
+	eff := make([]float64, len(tele))
+	for i, t := range tele {
+		if t.Valid {
+			if t.Violated || t.Degraded || t.FailedCores > 0 {
+				q.w[i] = math.Max(floor, q.w[i]*0.5)
+			} else {
+				q.w[i] = math.Min(1, q.w[i]*1.25)
+			}
+		}
+		eff[i] = q.w[i] * t.MaxQPS
+	}
+	return divide(offered, eff)
+}

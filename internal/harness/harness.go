@@ -168,6 +168,10 @@ type SliceRecord struct {
 	LCCoreCfg   string // chosen LC core config, e.g. "{6,2,6}"
 	LCCacheWays float64
 
+	// OverheadSec is the scheduling compute the scheduler charged for
+	// this slice's decision, whether or not the hold phase fit.
+	OverheadSec float64
+
 	// Resilience telemetry (zero-valued on fault-free runs).
 	FaultKinds     []string // fault kinds active this slice, nil if none
 	FailedCores    int      // fail-stopped cores observed in steady state
@@ -349,6 +353,13 @@ func RunFaultedMulti(m *sim.Machine, s MultiScheduler, slices int, loads []LoadP
 	return runImpl(m, s, slices, loads, budget, inj)
 }
 
+// Single lifts a single-service Scheduler into the MultiScheduler
+// interface, forwarding the optional resilience extensions
+// (ProfileValidator, DegradedReporter) when the scheduler implements
+// them. Multi-machine drivers such as internal/fleet use it to reuse
+// single-service policies unchanged.
+func Single(s Scheduler) MultiScheduler { return singleAdapter{s} }
+
 // singleAdapter lifts a single-service Scheduler into the multi
 // interface for the shared driver, forwarding the optional
 // resilience extensions with safe defaults.
@@ -388,23 +399,135 @@ func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, 
 	if slices <= 0 {
 		return nil, fmt.Errorf("harness: non-positive slice count %d", slices)
 	}
+	if budget == nil {
+		return nil, fmt.Errorf("harness: nil budget pattern")
+	}
+	d, err := NewDriver(m, s, inj)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Detach()
 	extras := m.ExtraLCs()
-	nServices := len(extras)
+	if len(loads) < d.nServices {
+		return nil, fmt.Errorf("harness: %d load patterns for %d services", len(loads), d.nServices)
+	}
+	for i, load := range loads[:d.nServices] {
+		if load == nil {
+			return nil, fmt.Errorf("harness: load pattern %d is nil", i)
+		}
+	}
+	maxPower := m.MaxPowerW()
+	res := &Result{Scheduler: s.Name()}
+
+	for sl := 0; sl < slices; sl++ {
+		t := m.Now()
+		loadFrac := 0.0
+		qps := make([]float64, d.nServices)
+		loadFactor, budgetFactor := 1.0, 1.0
+		if inj != nil {
+			loadFactor = inj.LoadFactor(t)
+			budgetFactor = inj.BudgetFactor(t)
+		}
+		if m.LC() != nil {
+			loadFrac = loads[0](t) * loadFactor
+			qps[0] = loadFrac * m.LC().MaxQPS
+		}
+		for x, app := range extras {
+			qps[x+1] = loads[x+1](t) * loadFactor * app.MaxQPS
+		}
+		budgetW := budget(t) * maxPower * budgetFactor
+
+		rec, err := d.StepSlice(qps, loadFrac, budgetW)
+		if err != nil {
+			return nil, err
+		}
+		res.Slices = append(res.Slices, rec)
+	}
+	return res, nil
+}
+
+// A Driver steps one (machine, scheduler) pair a decision quantum at a
+// time: the profile → decide → hold → steady sequence of §IV-B (Fig. 3)
+// factored out of Run so callers that interleave many machines —
+// internal/fleet's cluster stepping — reuse the exact slice semantics
+// per machine. The Driver owns the cross-slice state Run used to keep
+// in its loop (the previous allocation held during scheduling
+// overhead) plus the optional fault injector, which it attaches to the
+// machine for its lifetime.
+type Driver struct {
+	m         *sim.Machine
+	s         MultiScheduler
+	inj       FaultInjector
+	validator ProfileValidator
+	reporter  DegradedReporter
+	nServices int
+	prevAlloc *sim.Allocation
+}
+
+// NewDriver validates the pair and attaches inj (which may be nil) to
+// the machine. Callers that keep the machine beyond the driver's life
+// should call Detach when done so the injector does not outlive them.
+func NewDriver(m *sim.Machine, s MultiScheduler, inj FaultInjector) (*Driver, error) {
+	if m == nil {
+		return nil, fmt.Errorf("harness: nil machine")
+	}
+	if s == nil {
+		return nil, fmt.Errorf("harness: nil scheduler")
+	}
+	nServices := len(m.ExtraLCs())
 	if m.LC() != nil {
 		nServices++
 	}
-	if len(loads) < nServices {
-		return nil, fmt.Errorf("harness: %d load patterns for %d services", len(loads), nServices)
-	}
 	if inj != nil {
 		m.SetInjector(inj)
-		defer m.SetInjector(nil)
 	}
-	validator, _ := s.(ProfileValidator)
-	reporter, _ := s.(DegradedReporter)
-	maxPower := m.MaxPowerW()
-	res := &Result{Scheduler: s.Name()}
-	var prevAlloc *sim.Allocation
+	d := &Driver{m: m, s: s, inj: inj, nServices: nServices}
+	d.validator, _ = s.(ProfileValidator)
+	d.reporter, _ = s.(DegradedReporter)
+	return d, nil
+}
+
+// Machine returns the driven machine.
+func (d *Driver) Machine() *sim.Machine { return d.m }
+
+// Scheduler returns the driven scheduler.
+func (d *Driver) Scheduler() MultiScheduler { return d.s }
+
+// NumServices is the number of latency-critical services on the
+// machine — the length StepSlice expects of its qps slice.
+func (d *Driver) NumServices() int { return d.nServices }
+
+// Detach removes the driver's fault injector from the machine.
+func (d *Driver) Detach() {
+	if d.inj != nil {
+		d.m.SetInjector(nil)
+	}
+}
+
+// StepSlice executes one decision quantum. qps carries one offered
+// load per latency-critical service (primary first), already including
+// any environmental perturbation; loadFrac is the primary service's
+// offered fraction of its max QPS (recorded, not recomputed, so
+// callers control the exact value); budgetW is the slice's power
+// budget in watts. The machine's clock supplies the slice start time.
+func (d *Driver) StepSlice(qps []float64, loadFrac, budgetW float64) (SliceRecord, error) {
+	m, s, inj := d.m, d.s, d.inj
+	if len(qps) < d.nServices {
+		return SliceRecord{}, fmt.Errorf("harness: %d offered loads for %d services", len(qps), d.nServices)
+	}
+	extras := m.ExtraLCs()
+	t := m.Now()
+	qosMs := 0.0
+	if m.LC() != nil {
+		qosMs = m.LC().QoSTargetMs
+	}
+
+	rec := SliceRecord{
+		T: t, LoadFrac: loadFrac, QPS: first(qps), QoSMs: qosMs, BudgetW: budgetW,
+	}
+	if inj != nil {
+		rec.FaultKinds = inj.ActiveKinds(t)
+	}
 
 	run := func(alloc sim.Allocation, dur float64, qps []float64) sim.PhaseResult {
 		if len(extras) == 0 {
@@ -421,135 +544,107 @@ func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, 
 		return inj.ObservePhase(t, pr, profiling)
 	}
 
-	for sl := 0; sl < slices; sl++ {
-		t := m.Now()
-		loadFrac := 0.0
-		qps := make([]float64, nServices)
-		qosMs := 0.0
-		loadFactor, budgetFactor := 1.0, 1.0
-		if inj != nil {
-			loadFactor = inj.LoadFactor(t)
-			budgetFactor = inj.BudgetFactor(t)
-		}
-		if m.LC() != nil {
-			loadFrac = loads[0](t) * loadFactor
-			qps[0] = loadFrac * m.LC().MaxQPS
-			qosMs = m.LC().QoSTargetMs
-		}
-		for x, app := range extras {
-			qps[x+1] = loads[x+1](t) * loadFactor * app.MaxQPS
-		}
-		budgetW := budget(t) * maxPower * budgetFactor
+	var (
+		sojourns  []float64
+		extraSoj  = make([][]float64, len(extras))
+		energyJ   float64
+		elapsed   float64
+		instrB    []float64
+		bipsAccum []float64
+	)
+	nBatch := len(m.Batch())
+	instrB = make([]float64, nBatch)
+	bipsAccum = make([]float64, nBatch)
 
-		rec := SliceRecord{
-			T: t, LoadFrac: loadFrac, QPS: first(qps), QoSMs: qosMs, BudgetW: budgetW,
+	accumulate := func(pr sim.PhaseResult) {
+		sojourns = append(sojourns, pr.Sojourns...)
+		for x := range pr.ExtraSojourns {
+			extraSoj[x] = append(extraSoj[x], pr.ExtraSojourns[x]...)
 		}
-		if inj != nil {
-			rec.FaultKinds = inj.ActiveKinds(t)
+		energyJ += pr.PowerW * pr.Dur
+		elapsed += pr.Dur
+		for i := range instrB {
+			instrB[i] += pr.BatchInstrB[i]
+			bipsAccum[i] += pr.BatchBIPS[i] * pr.Dur
 		}
-
-		var (
-			sojourns  []float64
-			extraSoj  = make([][]float64, len(extras))
-			energyJ   float64
-			elapsed   float64
-			instrB    []float64
-			bipsAccum []float64
-		)
-		nBatch := len(m.Batch())
-		instrB = make([]float64, nBatch)
-		bipsAccum = make([]float64, nBatch)
-
-		accumulate := func(pr sim.PhaseResult) {
-			sojourns = append(sojourns, pr.Sojourns...)
-			for x := range pr.ExtraSojourns {
-				extraSoj[x] = append(extraSoj[x], pr.ExtraSojourns[x]...)
-			}
-			energyJ += pr.PowerW * pr.Dur
-			elapsed += pr.Dur
-			for i := range instrB {
-				instrB[i] += pr.BatchInstrB[i]
-				bipsAccum[i] += pr.BatchBIPS[i] * pr.Dur
-			}
-		}
-
-		// 1. Profiling phases. A ProfileValidator scheduler gets corrupt
-		// samples re-taken (bounded, and each retry consumes slice time).
-		profPhases := s.ProfilePhasesMulti(qps, budgetW)
-		var profResults []sim.PhaseResult
-		for attempt := 0; ; attempt++ {
-			profResults = make([]sim.PhaseResult, 0, len(profPhases))
-			for _, ph := range profPhases {
-				if ph.Dur <= 0 {
-					return nil, fmt.Errorf("harness: %s: profile phase with non-positive duration %v",
-						s.Name(), ph.Dur)
-				}
-				pr := run(ph.Alloc, ph.Dur, qps)
-				profResults = append(profResults, observe(t, pr, true))
-				accumulate(pr)
-			}
-			if len(profPhases) == 0 || validator == nil ||
-				attempt >= MaxProfileRetries || validator.ValidateProfile(profResults) == nil {
-				rec.ProfileRetries = attempt
-				break
-			}
-		}
-
-		// 2. Decision.
-		alloc, overhead := s.DecideMulti(profResults, qps, budgetW)
-
-		// 3. Scheduling overhead: the machine keeps running under the
-		// previous allocation while the runtime computes.
-		if overhead > 0 && elapsed+overhead < SliceDur {
-			hold := alloc
-			if prevAlloc != nil {
-				hold = *prevAlloc
-			}
-			accumulate(run(hold, overhead, qps))
-		}
-
-		// 4. Steady state for the remainder of the slice.
-		if remain := SliceDur - elapsed; remain > 1e-9 {
-			steady := run(alloc, remain, qps)
-			accumulate(steady)
-			rec.FailedCores = steady.FailedLC + steady.FailedBatch
-			s.EndSliceMulti(observe(t, steady, false), qps)
-		} else {
-			// Degenerate: profiling consumed the slice (Flicker mode a).
-			s.EndSliceMulti(sim.PhaseResult{Dur: 0, BatchBIPS: make([]float64, nBatch), BatchInstrB: make([]float64, nBatch)}, qps)
-		}
-		if reporter != nil {
-			rec.Degraded = reporter.Degraded()
-		}
-		prev := alloc
-		prevAlloc = &prev
-
-		// Record.
-		rec.P99Ms = stats.P99(sojourns) * 1e3
-		rec.Violated = qosMs > 0 && rec.P99Ms > qosMs
-		for x, app := range extras {
-			p99 := stats.P99(extraSoj[x]) * 1e3
-			rec.ExtraP99Ms = append(rec.ExtraP99Ms, p99)
-			rec.ExtraQoSMs = append(rec.ExtraQoSMs, app.QoSTargetMs)
-			rec.ExtraViolated = append(rec.ExtraViolated, p99 > app.QoSTargetMs)
-			rec.ExtraLCCores = append(rec.ExtraLCCores, alloc.ExtraLC[x].Cores)
-			rec.ExtraLCCfg = append(rec.ExtraLCCfg, alloc.ExtraLC[x].Core.String())
-		}
-		rec.BatchInstrB = instrB
-		rec.TotalInstrB = stats.Sum(instrB)
-		perJob := make([]float64, nBatch)
-		for i := range perJob {
-			perJob[i] = bipsAccum[i] / SliceDur
-		}
-		rec.GmeanBIPS = stats.GeoMean(perJob)
-		rec.AvgPowerW = energyJ / elapsed
-		rec.OverBudget = rec.AvgPowerW > budgetW
-		rec.LCCores = alloc.LCCores
-		rec.LCCoreCfg = alloc.LCCore.String()
-		rec.LCCacheWays = alloc.LCCache.Ways()
-		res.Slices = append(res.Slices, rec)
 	}
-	return res, nil
+
+	// 1. Profiling phases. A ProfileValidator scheduler gets corrupt
+	// samples re-taken (bounded, and each retry consumes slice time).
+	profPhases := s.ProfilePhasesMulti(qps, budgetW)
+	var profResults []sim.PhaseResult
+	for attempt := 0; ; attempt++ {
+		profResults = make([]sim.PhaseResult, 0, len(profPhases))
+		for _, ph := range profPhases {
+			if ph.Dur <= 0 {
+				return SliceRecord{}, fmt.Errorf("harness: %s: profile phase with non-positive duration %v",
+					s.Name(), ph.Dur)
+			}
+			pr := run(ph.Alloc, ph.Dur, qps)
+			profResults = append(profResults, observe(t, pr, true))
+			accumulate(pr)
+		}
+		if len(profPhases) == 0 || d.validator == nil ||
+			attempt >= MaxProfileRetries || d.validator.ValidateProfile(profResults) == nil {
+			rec.ProfileRetries = attempt
+			break
+		}
+	}
+
+	// 2. Decision.
+	alloc, overhead := s.DecideMulti(profResults, qps, budgetW)
+	rec.OverheadSec = overhead
+
+	// 3. Scheduling overhead: the machine keeps running under the
+	// previous allocation while the runtime computes.
+	if overhead > 0 && elapsed+overhead < SliceDur {
+		hold := alloc
+		if d.prevAlloc != nil {
+			hold = *d.prevAlloc
+		}
+		accumulate(run(hold, overhead, qps))
+	}
+
+	// 4. Steady state for the remainder of the slice.
+	if remain := SliceDur - elapsed; remain > 1e-9 {
+		steady := run(alloc, remain, qps)
+		accumulate(steady)
+		rec.FailedCores = steady.FailedLC + steady.FailedBatch
+		s.EndSliceMulti(observe(t, steady, false), qps)
+	} else {
+		// Degenerate: profiling consumed the slice (Flicker mode a).
+		s.EndSliceMulti(sim.PhaseResult{Dur: 0, BatchBIPS: make([]float64, nBatch), BatchInstrB: make([]float64, nBatch)}, qps)
+	}
+	if d.reporter != nil {
+		rec.Degraded = d.reporter.Degraded()
+	}
+	prev := alloc
+	d.prevAlloc = &prev
+
+	// Record.
+	rec.P99Ms = stats.P99(sojourns) * 1e3
+	rec.Violated = qosMs > 0 && rec.P99Ms > qosMs
+	for x, app := range extras {
+		p99 := stats.P99(extraSoj[x]) * 1e3
+		rec.ExtraP99Ms = append(rec.ExtraP99Ms, p99)
+		rec.ExtraQoSMs = append(rec.ExtraQoSMs, app.QoSTargetMs)
+		rec.ExtraViolated = append(rec.ExtraViolated, p99 > app.QoSTargetMs)
+		rec.ExtraLCCores = append(rec.ExtraLCCores, alloc.ExtraLC[x].Cores)
+		rec.ExtraLCCfg = append(rec.ExtraLCCfg, alloc.ExtraLC[x].Core.String())
+	}
+	rec.BatchInstrB = instrB
+	rec.TotalInstrB = stats.Sum(instrB)
+	perJob := make([]float64, nBatch)
+	for i := range perJob {
+		perJob[i] = bipsAccum[i] / SliceDur
+	}
+	rec.GmeanBIPS = stats.GeoMean(perJob)
+	rec.AvgPowerW = energyJ / elapsed
+	rec.OverBudget = rec.AvgPowerW > budgetW
+	rec.LCCores = alloc.LCCores
+	rec.LCCoreCfg = alloc.LCCore.String()
+	rec.LCCacheWays = alloc.LCCache.Ways()
+	return rec, nil
 }
 
 // String summarises a result for quick inspection.

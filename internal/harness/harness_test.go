@@ -2,6 +2,7 @@ package harness
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"cuttlesys/internal/config"
@@ -186,5 +187,54 @@ func TestRunErrorsOnBadSetup(t *testing.T) {
 	// The machine must still be usable after the failed setups.
 	if _, err := Run(m, sched, 1, ConstantLoad(0.5), ConstantBudget(0.8)); err != nil {
 		t.Fatalf("machine unusable after setup errors: %v", err)
+	}
+}
+
+// TestRunMultiErrorPaths pins the validation the multi-service entry
+// points and the Driver perform before any simulation time is spent:
+// each bad input is rejected with a named error, and the machine is
+// left untouched so the caller can correct and retry.
+func TestRunMultiErrorPaths(t *testing.T) {
+	m := testMachine(t)
+	sched := &staticScheduler{alloc: sim.Uniform(16, true, 16, config.Widest, config.OneWay)}
+	loads := []LoadPattern{ConstantLoad(0.5)}
+
+	if _, err := RunMulti(m, Single(sched), 2, loads, nil); err == nil || !strings.Contains(err.Error(), "nil budget pattern") {
+		t.Fatalf("nil budget pattern not rejected: %v", err)
+	}
+	if _, err := RunMulti(m, Single(sched), 2, []LoadPattern{nil}, ConstantBudget(0.8)); err == nil || !strings.Contains(err.Error(), "load pattern 0 is nil") {
+		t.Fatalf("nil load pattern not rejected: %v", err)
+	}
+	if _, err := RunMulti(nil, Single(sched), 2, loads, ConstantBudget(0.8)); err == nil || !strings.Contains(err.Error(), "nil machine") {
+		t.Fatalf("nil machine not rejected: %v", err)
+	}
+	if _, err := RunMulti(m, nil, 2, loads, ConstantBudget(0.8)); err == nil || !strings.Contains(err.Error(), "nil scheduler") {
+		t.Fatalf("nil scheduler not rejected: %v", err)
+	}
+
+	// Driver.StepSlice rejects a qps slice shorter than the machine's
+	// service count without advancing the clock.
+	d, err := NewDriver(m, Single(sched), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Detach()
+	if d.NumServices() != 1 {
+		t.Fatalf("NumServices = %d, want 1", d.NumServices())
+	}
+	if _, err := d.StepSlice(nil, 0.5, 100); err == nil || !strings.Contains(err.Error(), "0 offered loads for 1 services") {
+		t.Fatalf("short qps slice not rejected: %v", err)
+	}
+	if m.Now() != 0 {
+		t.Fatalf("failed step advanced the clock to %v", m.Now())
+	}
+
+	// A well-formed step on the same driver still works.
+	rec, err := d.StepSlice([]float64{0.5 * m.LC().MaxQPS}, 0.5, 0.8*m.MaxPowerW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TotalInstrB <= 0 || rec.QPS <= 0 {
+		t.Fatalf("step after rejected input lost accounting: %+v", rec)
 	}
 }
