@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench chaos fleet lint fmt ci
+.PHONY: build test race vet bench chaos fleet trace bench-obs lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -36,3 +36,19 @@ chaos:
 # Regenerate the seeded cluster fleet report (see EXPERIMENTS.md).
 fleet:
 	$(GO) run ./cmd/fleet -seed 1 -machines 4 -slices 12 -o BENCH_fleet.json
+
+# Capture the reference traced chaos run (DESIGN.md §10): trace JSONL,
+# Chrome trace_event JSON (load trace/trace.chrome.json in
+# chrome://tracing), a Prometheus metric snapshot, and the summary,
+# then summarise the trace with cmd/trace.
+trace:
+	mkdir -p trace
+	$(GO) run ./cmd/fleet -seed 1 -machines 3 -slices 10 -load 0.7 -cap 0.65 \
+		-trace trace/trace.jsonl -chrome trace/trace.chrome.json \
+		-prom trace/metrics.prom -o trace/summary.json
+	$(GO) run ./cmd/trace trace/trace.jsonl
+
+# Regenerate the seeded trace-summary regression artifact.
+bench-obs:
+	$(GO) run ./cmd/fleet -seed 1 -machines 3 -slices 10 -load 0.7 -cap 0.65 \
+		-trace /dev/null -o BENCH_obs.json

@@ -11,20 +11,31 @@
 // report regardless of GOMAXPROCS, because machine stepping merges in
 // index order and each machine's SGD runs single-worker.
 //
+// With any of -trace, -chrome or -prom set, the sweep is replaced by
+// one traced fleet chaos run (QoS-aware router, headroom arbiter, a
+// mid-run fail-stop on machine 1) whose trace JSONL, Chrome
+// trace_event JSON and Prometheus metric snapshot are written to the
+// given paths; -o then receives the trace summary instead of the
+// sweep report. Traced artifacts keyed to simulated time are equally
+// byte-deterministic (DESIGN.md §10).
+//
 // Usage:
 //
 //	fleet [-service xapian] [-machines 4] [-slices 12] [-load 0.7]
 //	      [-cap 0.65] [-seed 1] [-o report.json]
+//	fleet -trace trace.jsonl [-chrome trace.chrome.json] [-prom metrics.prom]
+//	      [-machines 3] [-slices 10] [-o summary.json]
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
 	"cuttlesys"
+	"cuttlesys/experiments"
 )
 
 // scenario is one cluster environment: load and budget patterns plus
@@ -149,27 +160,64 @@ func main() {
 	capFrac := flag.Float64("cap", 0.65, "cluster power cap fraction of aggregate reference power")
 	seed := flag.Uint64("seed", 1, "fleet seed (machine seeds are derived per machine)")
 	out := flag.String("o", "", "output file (default stdout)")
+	tracePath := flag.String("trace", "", "traced mode: write trace JSONL to this file")
+	chromePath := flag.String("chrome", "", "traced mode: write Chrome trace_event JSON to this file")
+	promPath := flag.String("prom", "", "traced mode: write Prometheus metric snapshot to this file")
 	flag.Parse()
 
+	if *tracePath != "" || *chromePath != "" || *promPath != "" {
+		if err := traced(*service, *machines, *slices, *load, *capFrac, *seed,
+			*tracePath, *chromePath, *promPath, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	rep, err := sweep(*service, *machines, *slices, *load, *capFrac, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
 		os.Exit(1)
 	}
-	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err := cuttlesys.WriteReport(*out, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// traced runs the canonical traced chaos run and writes the requested
+// artifacts; the trace summary goes to out (stdout when empty).
+func traced(service string, machines, slices int, load, capFrac float64, seed uint64, tracePath, chromePath, promPath, out string) error {
+	rec, _, err := experiments.RunObsTrace(experiments.ObsTraceSetup{
+		Seed: seed, Service: service, Machines: machines, Slices: slices,
+		LoadFrac: load, CapFrac: capFrac,
+	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	buf = append(buf, '\n')
-	if *out == "" {
-		os.Stdout.Write(buf)
-		return
+	write := func(path string, emit func(w io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
-		os.Exit(1)
+	if err := write(tracePath, rec.WriteJSONL); err != nil {
+		return err
 	}
+	if err := write(chromePath, rec.WriteChromeTrace); err != nil {
+		return err
+	}
+	if err := write(promPath, rec.WritePrometheus); err != nil {
+		return err
+	}
+	return cuttlesys.WriteReport(out, cuttlesys.SummarizeTrace(rec.Events(), 0))
 }
 
 // buildFleet assembles n machines running the CuttleSys runtime.

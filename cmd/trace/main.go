@@ -1,0 +1,89 @@
+// Command trace converts and summarises CuttleSys trace JSONL — the
+// interchange form every instrumented run exports (DESIGN.md §10).
+// By default it prints a human-readable summary: the per-phase
+// simulated-time breakdown, the top spans by duration, and the
+// QoS-violation timeline. -chrome converts the trace to Chrome
+// trace_event JSON loadable in chrome://tracing or ui.perfetto.dev;
+// -summary emits the summary as canonical report JSON instead.
+//
+// All outputs are keyed to simulated time and byte-deterministic for
+// a given input trace.
+//
+// Usage:
+//
+//	trace [-chrome | -summary] [-top 10] [-o out] trace.jsonl
+//	fleet -trace /dev/stdout -o /dev/null | trace -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cuttlesys/internal/obs"
+)
+
+func main() {
+	chrome := flag.Bool("chrome", false, "convert to Chrome trace_event JSON")
+	summary := flag.Bool("summary", false, "emit the summary as report JSON")
+	top := flag.Int("top", 10, "spans to keep in the top-span list")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: trace [-chrome | -summary] [-top N] [-o out] trace.jsonl")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *out, *chrome, *summary, *top); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run reads the trace at path ("-" means stdin) and writes the
+// requested form to outPath (stdout when empty).
+func run(path, outPath string, chrome, summary bool, top int) error {
+	in := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := obs.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+
+	w := io.Writer(os.Stdout)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return convert(w, events, chrome, summary, top)
+}
+
+// convert writes events in the selected form; the default is the
+// human-readable summary.
+func convert(w io.Writer, events []obs.Event, chrome, summary bool, top int) error {
+	switch {
+	case chrome:
+		return obs.WriteChromeTrace(w, events)
+	case summary:
+		buf, err := obs.EncodeReport(obs.Summarize(events, top))
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(buf)
+		return err
+	default:
+		return obs.Summarize(events, top).WriteText(w)
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cuttlesys/internal/obs"
+)
+
+func sampleEvents() []obs.Event {
+	return []obs.Event{
+		obs.Span(obs.SpanSlice, 0, 0.1).WithMachine(0).WithSlice(0),
+		obs.Span(obs.SpanDecide, 0.002, 0.0005).WithMachine(0).WithSlice(0),
+		obs.Instant(obs.EventQoSViolation, 0.1).WithMachine(1).WithSlice(1).
+			With("p99Ms", obs.Float(9.5)).With("qosMs", obs.Float(8)),
+		obs.Span(obs.SpanFleetSlice, 0, 0.1).WithMachine(obs.ClusterMachine).WithSlice(0),
+	}
+}
+
+func TestConvertDefaultSummaryText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := convert(&buf, sampleEvents(), false, false, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"4 events", obs.SpanSlice, "qos violations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConvertChrome(t *testing.T) {
+	var buf bytes.Buffer
+	if err := convert(&buf, sampleEvents(), true, false, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"traceEvents"`, `"ph": "X"`, `"ph": "i"`, `"name": "cluster"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %q", want)
+		}
+	}
+}
+
+func TestConvertSummaryJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := convert(&buf, sampleEvents(), false, true, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"events": 4`, `"qos_timeline"`, `"phases"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary JSON missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("report must end with a newline")
+	}
+}
+
+func TestRunRoundTripsJSONL(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "trace.jsonl")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(f, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "summary.json")
+	if err := run(in, out, false, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := convert(&direct, sampleEvents(), false, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, direct.Bytes()) {
+		t.Errorf("file round-trip diverged from direct conversion:\n%s\nvs\n%s", got, direct.Bytes())
+	}
+}

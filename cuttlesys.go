@@ -38,6 +38,7 @@ import (
 	"cuttlesys/internal/fault"
 	"cuttlesys/internal/fleet"
 	"cuttlesys/internal/harness"
+	"cuttlesys/internal/obs"
 	"cuttlesys/internal/sgd"
 	"cuttlesys/internal/sim"
 	"cuttlesys/internal/workload"
@@ -304,3 +305,44 @@ func NewFleet(cfg FleetConfig, nodes ...FleetNode) (*Fleet, error) {
 
 // FleetSeeds derives n machine seeds from one fleet seed.
 func FleetSeeds(seed uint64, n int) []uint64 { return fleet.Seeds(seed, n) }
+
+// Collector receives trace events, metric updates and profiling
+// samples from an instrumented run (DESIGN.md §10). Attach one via
+// FleetConfig.Collector or RunTraced; NopCollector drops everything
+// at zero allocation cost.
+type Collector = obs.Collector
+
+// NopCollector is the disabled Collector.
+var NopCollector = obs.Nop
+
+// TraceRecorder is the enabled Collector: it buffers trace events,
+// aggregates metrics and wall/allocation profiles, and exports them
+// deterministically (JSONL, Chrome trace_event, Prometheus text).
+type TraceRecorder = obs.Recorder
+
+// NewTraceRecorder builds an empty recorder.
+func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// TraceEvent is one span or instant in a recorded trace.
+type TraceEvent = obs.Event
+
+// TraceSummary condenses a trace: per-phase simulated-time breakdown,
+// top spans, and the QoS-violation timeline.
+type TraceSummary = obs.Summary
+
+// SummarizeTrace builds a TraceSummary; top caps the span list
+// (non-positive selects the default).
+func SummarizeTrace(events []TraceEvent, top int) *TraceSummary { return obs.Summarize(events, top) }
+
+// RunTraced is RunFaultedMulti with a Collector attached: the run's
+// profile→decide→hold structure, metrics and fault transitions land in
+// c. A nil injector skips fault perturbation; a nil collector
+// reproduces RunMulti exactly.
+func RunTraced(m *Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern, inj FaultInjector, c Collector) (*Result, error) {
+	return harness.RunTraced(m, s, slices, loads, budget, inj, c)
+}
+
+// WriteReport writes v in the repo's canonical report encoding —
+// two-space-indented JSON plus a trailing newline — to path, or to
+// stdout when path is empty. Every cmd/ report funnels through it.
+func WriteReport(path string, v any) error { return obs.WriteReport(path, v) }

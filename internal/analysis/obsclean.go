@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Obsclean flags ad-hoc output in internal/ packages: fmt.Print*,
+// fmt.Fprint* aimed at os.Stdout/os.Stderr, any stdlib log call, and
+// the builtin print/println. Since PR 4 every piece of runtime
+// telemetry flows through internal/obs — a Collector the harness can
+// disable at zero cost and a Recorder whose exports are
+// byte-deterministic. A stray Println in the runtime bypasses that
+// contract twice over: it pollutes report streams the experiments
+// promise are byte-stable, and it hides signal from the trace.
+// internal/obs itself is exempt (it implements the exporters), as are
+// _test.go files and packages outside internal/.
+var Obsclean = &Analyzer{
+	Name: "obsclean",
+	Doc:  "no ad-hoc printing or logging in internal/ outside internal/obs",
+	Run:  runObsclean,
+}
+
+func runObsclean(p *Pass) {
+	if p.Pkg.ForTest {
+		return
+	}
+	path := p.Pkg.Path
+	if !hasPathSegment(path, "internal") || hasPathSegment(path, "internal/obs") {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkObscleanCall(p, info, call)
+			return true
+		})
+	}
+}
+
+func checkObscleanCall(p *Pass, info *types.Info, call *ast.CallExpr) {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+			p.Reportf(call.Pos(), "builtin %s in internal package; route output through internal/obs", b.Name())
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	switch pkgPath(fn) {
+	case "fmt":
+		name := fn.Name()
+		switch {
+		case strings.HasPrefix(name, "Print"):
+			p.Reportf(call.Pos(), "fmt.%s in internal package; route output through internal/obs", name)
+		case strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 && isStdStream(info, call.Args[0]):
+			p.Reportf(call.Pos(), "fmt.%s to a standard stream in internal package; route output through internal/obs", name)
+		}
+	case "log":
+		p.Reportf(call.Pos(), "log.%s in internal package; route telemetry through internal/obs", fn.Name())
+	}
+}
+
+// isStdStream reports whether e denotes os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || pkgPath(v) != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
+}

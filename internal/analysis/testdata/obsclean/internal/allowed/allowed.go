@@ -1,0 +1,14 @@
+// Package allowed demonstrates a waived obsclean finding.
+package allowed
+
+import (
+	"fmt"
+	"os"
+)
+
+// Panic diagnostics may go straight to stderr: by the time they fire,
+// the deterministic output contract is already void.
+func Panic(msg string) {
+	fmt.Fprintln(os.Stderr, "fatal:", msg) //lint:allow obsclean crash diagnostics precede any report output
+	panic(msg)
+}

@@ -1,0 +1,23 @@
+// Package bad demonstrates every obsclean violation class.
+package bad
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// Noisy prints from inside internal/ — all four forms are flagged.
+func Noisy(x int) {
+	fmt.Println("state:", x)
+	fmt.Fprintf(os.Stderr, "state: %d\n", x)
+	log.Printf("state: %d", x)
+	println(x)
+}
+
+// Quiet writes to a caller-supplied sink and formats to a string —
+// neither is ad-hoc output, so neither is flagged.
+func Quiet(w interface{ Write([]byte) (int, error) }, x int) string {
+	fmt.Fprintf(w, "state: %d\n", x)
+	return fmt.Sprintf("%d", x)
+}

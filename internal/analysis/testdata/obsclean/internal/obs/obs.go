@@ -1,0 +1,10 @@
+// Package obs stands in for the real exporter package: it is the one
+// internal package allowed to print, so nothing here is flagged.
+package obs
+
+import "fmt"
+
+// Export prints a snapshot — legitimate here, and only here.
+func Export(v float64) {
+	fmt.Println("metric:", v)
+}

@@ -1,0 +1,10 @@
+// Package report lives outside internal/: commands and report writers
+// print by design, so obsclean ignores it.
+package report
+
+import "fmt"
+
+// Print emits a report line.
+func Print(line string) {
+	fmt.Println(line)
+}

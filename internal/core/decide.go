@@ -6,6 +6,7 @@ import (
 	"cuttlesys/internal/config"
 	"cuttlesys/internal/dds"
 	"cuttlesys/internal/ga"
+	"cuttlesys/internal/obs"
 	"cuttlesys/internal/power"
 	"cuttlesys/internal/sgd"
 	"cuttlesys/internal/sim"
@@ -30,14 +31,28 @@ func (rt *Runtime) DecideMulti(profile []sim.PhaseResult, qps []float64, budgetW
 		// through the gating arithmetic.
 		budgetW = 0
 	}
+	c := rt.obs
+	traced := c.Enabled()
+	ow := obs.BeginWall(c)
 	rt.observeProfiles(profile)
+	ow.End(c, "core.observe")
+	rw := obs.BeginWall(c)
 	thr, pwr, lat, svc := rt.reconstructAll()
+	rw.End(c, "core.reconstruct")
+	if traced {
+		rt.emitReconstruction(thr, pwr, lat, svc)
+	}
 
 	if !rt.p.DisableResilience && (rt.degraded || !rt.predictionsValid(thr, pwr, lat, svc)) {
+		if traced {
+			c.Emit(obs.Mark(obs.EventFallback))
+			c.Add(obs.MetricFallbacks, obs.NoLabels, 1)
+		}
 		return rt.decideFallback(thr, pwr, lat), rt.p.OverheadSec
 	}
 
 	// --- latency-critical services: QoS scan per service (§VI-A) ---
+	scanWall := obs.BeginWall(c)
 	lcRes := make([]config.Resource, len(rt.svcs))
 	for k, sv := range rt.svcs {
 		res, _ := rt.scanQoS(sv, k, lat, pwr, svc, loadAt(qps, k))
@@ -45,13 +60,22 @@ func (rt *Runtime) DecideMulti(profile []sim.PhaseResult, qps []float64, budgetW
 		sv.predPwr = pwr.At(rt.lcPowerRow(k), res.Index())
 		sv.predLat = lat.At(rt.latRow(k), res.Index())
 		rt.relocate(sv, k, svc, loadAt(qps, k))
+		if traced {
+			c.Emit(obs.Mark(obs.EventScan).With("service", obs.Itoa(k)).
+				With("cfg", res.Core.String()).With("ways", obs.Float(res.Cache.Ways())))
+			svcLabel := obs.Label("service", obs.Itoa(k))
+			c.Set(obs.MetricLCCores, svcLabel, float64(sv.cores))
+			c.Set(obs.MetricLCWays, svcLabel, res.Cache.Ways())
+		}
 	}
+	scanWall.End(c, "core.scan")
 
 	// --- batch jobs: design-space exploration over the 108-way
 	// per-job domain (§VI); parallel DDS by default, GA for Fig. 10 ---
 	nBatch := len(rt.batch)
 	var best []int
 	if nBatch > 0 {
+		searchWall := obs.BeginWall(c)
 		obj := rt.objective(thr, pwr, lcRes, budgetW)
 		searchSeed := rt.p.Seed + uint64(rt.slice)*7919
 		var init [][]int
@@ -65,27 +89,40 @@ func (rt *Runtime) DecideMulti(profile []sim.PhaseResult, qps []float64, budgetW
 			}
 			init = [][]int{prev}
 		}
+		algo, evals := "dds", 0
 		if rt.p.Searcher == SearchGA {
-			best = ga.Search(ga.Objective(obj), ga.Params{
+			r := ga.Search(ga.Objective(obj), ga.Params{
 				Dims:       nBatch,
 				NumConfigs: config.NumResources,
 				Seed:       searchSeed,
 				Init:       init,
-			}).Best
+			})
+			best, evals, algo = r.Best, r.Evals, "ga"
 		} else {
 			params := rt.p.DDS
 			params.Dims = nBatch
 			params.NumConfigs = config.NumResources
 			params.Seed = searchSeed
 			params.Init = init
-			best = dds.Search(obj, params).Best
+			r := dds.Search(obj, params)
+			best, evals = r.Best, r.Evals
+		}
+		searchWall.End(c, "core.search")
+		if traced {
+			c.Emit(obs.Mark(obs.EventSearch).With("algo", algo).With("evals", obs.Itoa(evals)))
+			c.Add(obs.MetricSearchEvals, obs.Label("algo", algo), float64(evals))
 		}
 	}
 
+	budgetWall := obs.BeginWall(c)
 	alloc := rt.buildAllocation(best, lcRes)
 	rt.applyQuarantine(&alloc)
 	rt.repairCache(&alloc)
 	rt.enforceBudget(&alloc, pwr, budgetW)
+	budgetWall.End(c, "core.budget")
+	if traced {
+		rt.emitAllocation(&alloc)
+	}
 
 	// Record the predictions behind the applied allocation: the
 	// divergence detector compares them against the slice's measured

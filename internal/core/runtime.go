@@ -32,6 +32,7 @@ import (
 	"cuttlesys/internal/config"
 	"cuttlesys/internal/dds"
 	"cuttlesys/internal/harness"
+	"cuttlesys/internal/obs"
 	"cuttlesys/internal/perf"
 	"cuttlesys/internal/power"
 	"cuttlesys/internal/rng"
@@ -261,6 +262,10 @@ type Runtime struct {
 	degraded      bool
 	failedLC      int
 	failedBatch   int
+
+	// obs receives decision-phase telemetry; Nop unless the driver
+	// attached a collector via SetCollector.
+	obs obs.Collector
 }
 
 var (
@@ -284,6 +289,7 @@ func New(m *sim.Machine, params Params) *Runtime {
 		p:            p,
 		lc:           lc,
 		batch:        batch,
+		obs:          obs.Nop,
 		nCores:       m.NCores(),
 		r:            rng.New(p.Seed ^ 0x9e3779b97f4a7c15),
 		widestIdx:    config.Resource{Core: config.Widest, Cache: config.OneWay}.Index(),
@@ -432,6 +438,8 @@ func (rt *Runtime) EndSliceMulti(steady sim.PhaseResult, qps []float64) {
 	if rt.lastAlloc == nil {
 		return
 	}
+	fw := obs.BeginWall(rt.obs)
+	defer fw.End(rt.obs, "core.feedback")
 	alloc := rt.lastAlloc
 	mux := alloc.MultiplexFactor(rt.nCores)
 	if rt.p.TrackAccuracy && rt.accErrs == nil {
@@ -633,7 +641,15 @@ func (rt *Runtime) updateDivergence(alloc *sim.Allocation, steady sim.PhaseResul
 	} else {
 		rt.divergeStreak = 0
 	}
+	was := rt.degraded
 	rt.degraded = rt.divergeStreak >= rt.p.DivergenceSlices
+	if rt.degraded != was && rt.obs.Enabled() {
+		state := "exit"
+		if rt.degraded {
+			state = "enter"
+		}
+		rt.obs.Emit(obs.Mark(obs.EventDegraded).With("state", state))
+	}
 }
 
 // reconstructAll runs the reconstruction instances in parallel (§V).

@@ -23,6 +23,7 @@ import (
 	"math"
 	"sort"
 
+	"cuttlesys/internal/obs"
 	"cuttlesys/internal/rng"
 	"cuttlesys/internal/sim"
 )
@@ -116,6 +117,12 @@ type Schedule struct {
 	seed   uint64
 	events []Event
 	r      *rng.RNG
+
+	// Observability (nil unless SetCollector attached one): c receives
+	// inject/recover instants, state tracks which window transitions
+	// have already been emitted.
+	c     obs.Collector
+	state []uint8
 }
 
 // NewSchedule builds a schedule from events. The same (seed, events)
@@ -194,6 +201,7 @@ func (s *Schedule) LoadFactor(t float64) float64 {
 	if s == nil {
 		return f
 	}
+	s.noteTransitions(t)
 	for i := range s.events {
 		e := &s.events[i]
 		if e.Kind == FlashCrowd && e.active(t) {
@@ -210,6 +218,7 @@ func (s *Schedule) BudgetFactor(t float64) float64 {
 	if s == nil {
 		return f
 	}
+	s.noteTransitions(t)
 	for i := range s.events {
 		e := &s.events[i]
 		if e.Kind == BudgetDrop && e.active(t) {
@@ -226,6 +235,7 @@ func (s *Schedule) ActiveKinds(t float64) []string {
 	if s == nil {
 		return nil
 	}
+	s.noteTransitions(t)
 	var kinds []string
 	seen := map[Kind]bool{}
 	for i := range s.events {

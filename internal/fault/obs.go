@@ -1,0 +1,50 @@
+package fault
+
+import "cuttlesys/internal/obs"
+
+// Fault windows opening and closing are first-class trace events: a
+// schedule with a collector attached emits fault.inject / fault.recover
+// instants stamped with the event's own schedule times, so the trace
+// shows exactly when each failure mode turned on and off regardless of
+// which slice first observed it.
+
+const (
+	faultPending uint8 = iota
+	faultInjected
+	faultRecovered
+)
+
+// SetCollector attaches an observability collector (harness.Observable).
+// The harness driver passes its machine-level collector, so on fleet
+// runs the instants carry the owning machine's index. Nil detaches.
+func (s *Schedule) SetCollector(c obs.Collector) {
+	if s == nil {
+		return
+	}
+	s.c = obs.OrNop(c)
+	if s.state == nil {
+		s.state = make([]uint8, len(s.events))
+	}
+}
+
+// noteTransitions emits inject/recover instants for every event whose
+// window boundary has been crossed by time t. Called from the per-slice
+// query methods — all invoked from the single goroutine stepping the
+// schedule's machine, so emission order is deterministic.
+func (s *Schedule) noteTransitions(t float64) {
+	if s == nil || s.c == nil || !s.c.Enabled() {
+		return
+	}
+	for i := range s.events {
+		e := &s.events[i]
+		if s.state[i] == faultPending && t >= e.Start {
+			s.state[i] = faultInjected
+			s.c.Emit(obs.Instant(obs.EventFaultInject, e.Start).With("kind", string(e.Kind)))
+			s.c.Add(obs.MetricFaultInjections, obs.Label("kind", string(e.Kind)), 1)
+		}
+		if s.state[i] == faultInjected && t >= e.End {
+			s.state[i] = faultRecovered
+			s.c.Emit(obs.Instant(obs.EventFaultRecover, e.End).With("kind", string(e.Kind)))
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"math"
 
 	"cuttlesys/internal/harness"
+	"cuttlesys/internal/obs"
 	"cuttlesys/internal/rng"
 	"cuttlesys/internal/sim"
 )
@@ -89,6 +90,14 @@ type Config struct {
 	// <= 0 means one per machine. The value never affects results,
 	// only wall-clock time.
 	Workers int
+	// Collector receives observability output. Each machine's driver
+	// gets an obs.ForMachine view (events and series stamped with the
+	// machine index); fleet-level routing, arbitration and aggregates
+	// are emitted at cluster scope. Nil disables observability at zero
+	// cost. Simulated-time output stays byte-deterministic only if the
+	// schedulers themselves are deterministic per slice — in particular
+	// SGD reconstruction must run with Workers=1 on traced runs.
+	Collector obs.Collector
 }
 
 // node is one machine's private state.
@@ -110,6 +119,7 @@ type Fleet struct {
 	now     float64
 	tele    []Telemetry
 	slices  []SliceRecord
+	obs     obs.Collector
 }
 
 // New assembles a fleet. Every machine must host exactly one
@@ -123,6 +133,7 @@ func New(cfg Config, specs ...NodeSpec) (*Fleet, error) {
 		router:  cfg.Router,
 		arbiter: cfg.Arbiter,
 		workers: cfg.Workers,
+		obs:     obs.OrNop(cfg.Collector),
 	}
 	if f.router == nil {
 		f.router = Uniform{}
@@ -149,6 +160,7 @@ func New(cfg Config, specs ...NodeSpec) (*Fleet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fleet: machine %d: %w", i, err)
 		}
+		d.SetCollector(obs.ForMachine(f.obs, i))
 		lc := spec.Machine.LC()
 		f.nodes = append(f.nodes, &node{
 			d:         d,
@@ -259,6 +271,8 @@ func (f *Fleet) Step(offered, budgetW float64) (SliceRecord, error) {
 	}
 	n := len(f.nodes)
 	t := f.now
+	traced := f.obs.Enabled()
+	sliceWall := obs.BeginWall(f.obs)
 
 	qpsShares := f.router.Route(offered, f.tele)
 	if len(qpsShares) != n {
@@ -269,6 +283,13 @@ func (f *Fleet) Step(offered, budgetW float64) (SliceRecord, error) {
 	if len(budgets) != n {
 		return SliceRecord{}, fmt.Errorf("fleet: arbiter %s returned %d shares for %d machines",
 			f.arbiter.Name(), len(budgets), n)
+	}
+	if traced {
+		sl := len(f.slices)
+		f.obs.Emit(obs.Instant(obs.EventRoute, t).WithMachine(obs.ClusterMachine).
+			WithSlice(sl).With("router", f.router.Name()))
+		f.obs.Emit(obs.Instant(obs.EventArbitrate, t).WithMachine(obs.ClusterMachine).
+			WithSlice(sl).With("arbiter", f.arbiter.Name()))
 	}
 
 	// Per-machine inputs, perturbed by that machine's faults exactly as
@@ -295,7 +316,9 @@ func (f *Fleet) Step(offered, budgetW float64) (SliceRecord, error) {
 		}
 	}
 
+	stepWall := obs.BeginWall(f.obs)
 	recs, err := f.stepAll(qps, loadFrac, budgets)
+	stepWall.End(f.obs, "fleet.step")
 	if err != nil {
 		return SliceRecord{}, err
 	}
@@ -333,8 +356,12 @@ func (f *Fleet) Step(offered, budgetW float64) (SliceRecord, error) {
 		}
 	}
 	rec.QoSMetFrac = float64(met) / float64(n)
+	if traced {
+		f.emitFleetTelemetry(&rec, len(f.slices))
+	}
 	f.slices = append(f.slices, rec)
 	f.now += harness.SliceDur
+	sliceWall.End(f.obs, "fleet.slice")
 	return rec, nil
 }
 

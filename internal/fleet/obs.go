@@ -1,0 +1,24 @@
+package fleet
+
+import (
+	"cuttlesys/internal/harness"
+	"cuttlesys/internal/obs"
+)
+
+// emitFleetTelemetry folds one fleet quantum into the trace and the
+// cluster-scope metric series. Called only from Step's serial tail,
+// so the ClusterMachine event stream and the unlabelled fleet series
+// have exactly one writer — the determinism rule of DESIGN.md §10.
+func (f *Fleet) emitFleetTelemetry(rec *SliceRecord, slice int) {
+	c := f.obs
+	c.Emit(obs.Span(obs.SpanFleetSlice, rec.T, harness.SliceDur).
+		WithMachine(obs.ClusterMachine).WithSlice(slice).
+		With("router", f.router.Name()).With("arbiter", f.arbiter.Name()))
+	c.Add(obs.MetricFleetSlices, obs.NoLabels, 1)
+	c.Set(obs.MetricFleetQPS, obs.NoLabels, rec.OfferedQPS)
+	c.Set(obs.MetricFleetBudgetW, obs.NoLabels, rec.BudgetW)
+	c.Set(obs.MetricFleetQoSMet, obs.NoLabels, rec.QoSMetFrac)
+	c.Add(obs.MetricFleetInstrB, obs.NoLabels, rec.TotalInstrB)
+	c.Add(obs.MetricFleetOverheadSerial, obs.NoLabels, rec.OverheadSerialSec)
+	c.Add(obs.MetricFleetOverheadCrit, obs.NoLabels, rec.OverheadCritSec)
+}

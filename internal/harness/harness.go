@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"cuttlesys/internal/obs"
 	"cuttlesys/internal/sim"
 	"cuttlesys/internal/stats"
 )
@@ -330,13 +331,13 @@ func (r *Result) DegradedOccupancy() float64 {
 // setups: a non-positive slice count, fewer load patterns than
 // services, or a scheduler emitting a non-positive profile duration.
 func Run(m *sim.Machine, s Scheduler, slices int, load LoadPattern, budget BudgetPattern) (*Result, error) {
-	return runImpl(m, singleAdapter{s}, slices, []LoadPattern{load}, budget, nil)
+	return runImpl(m, singleAdapter{s}, slices, []LoadPattern{load}, budget, nil, nil)
 }
 
 // RunMulti executes a multi-service experiment: one load pattern per
 // latency-critical service, primary first.
 func RunMulti(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern) (*Result, error) {
-	return runImpl(m, s, slices, loads, budget, nil)
+	return runImpl(m, s, slices, loads, budget, nil, nil)
 }
 
 // RunFaulted is Run under a fault injector: hardware faults reach the
@@ -345,12 +346,12 @@ func RunMulti(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern,
 // phase while the records keep the physical truth. A nil injector (or
 // one with an empty schedule) reproduces Run exactly, bit for bit.
 func RunFaulted(m *sim.Machine, s Scheduler, slices int, load LoadPattern, budget BudgetPattern, inj FaultInjector) (*Result, error) {
-	return runImpl(m, singleAdapter{s}, slices, []LoadPattern{load}, budget, inj)
+	return runImpl(m, singleAdapter{s}, slices, []LoadPattern{load}, budget, inj, nil)
 }
 
 // RunFaultedMulti is RunMulti under a fault injector.
 func RunFaultedMulti(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern, inj FaultInjector) (*Result, error) {
-	return runImpl(m, s, slices, loads, budget, inj)
+	return runImpl(m, s, slices, loads, budget, inj, nil)
 }
 
 // Single lifts a single-service Scheduler into the MultiScheduler
@@ -387,6 +388,11 @@ func (a singleAdapter) Degraded() bool {
 	}
 	return false
 }
+func (a singleAdapter) SetCollector(c obs.Collector) {
+	if o, ok := a.s.(Observable); ok {
+		o.SetCollector(c)
+	}
+}
 
 func first(qps []float64) float64 {
 	if len(qps) == 0 {
@@ -395,7 +401,7 @@ func first(qps []float64) float64 {
 	return qps[0]
 }
 
-func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern, inj FaultInjector) (*Result, error) {
+func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, budget BudgetPattern, inj FaultInjector, c obs.Collector) (*Result, error) {
 	if slices <= 0 {
 		return nil, fmt.Errorf("harness: non-positive slice count %d", slices)
 	}
@@ -407,6 +413,9 @@ func runImpl(m *sim.Machine, s MultiScheduler, slices int, loads []LoadPattern, 
 		return nil, err
 	}
 	defer d.Detach()
+	if c != nil {
+		d.SetCollector(c)
+	}
 	extras := m.ExtraLCs()
 	if len(loads) < d.nServices {
 		return nil, fmt.Errorf("harness: %d load patterns for %d services", len(loads), d.nServices)
@@ -462,6 +471,14 @@ type Driver struct {
 	reporter  DegradedReporter
 	nServices int
 	prevAlloc *sim.Allocation
+
+	// Observability: obs is the machine-level collector (Nop unless
+	// SetCollector attached one), scope the slice-positioned view the
+	// scheduler shares, sliceIdx the driver-local quantum counter
+	// stamped onto events.
+	obs      obs.Collector
+	scope    *obs.Scope
+	sliceIdx int
 }
 
 // NewDriver validates the pair and attaches inj (which may be nil) to
@@ -482,6 +499,8 @@ func NewDriver(m *sim.Machine, s MultiScheduler, inj FaultInjector) (*Driver, er
 		m.SetInjector(inj)
 	}
 	d := &Driver{m: m, s: s, inj: inj, nServices: nServices}
+	d.obs = obs.Nop
+	d.scope = obs.NewScope(nil)
 	d.validator, _ = s.(ProfileValidator)
 	d.reporter, _ = s.(DegradedReporter)
 	return d, nil
@@ -517,6 +536,9 @@ func (d *Driver) StepSlice(qps []float64, loadFrac, budgetW float64) (SliceRecor
 	}
 	extras := m.ExtraLCs()
 	t := m.Now()
+	traced := d.obs.Enabled()
+	d.scope.SetContext(t, d.sliceIdx)
+	sliceWall := obs.BeginWall(d.obs)
 	qosMs := 0.0
 	if m.LC() != nil {
 		qosMs = m.LC().QoSTargetMs
@@ -575,14 +597,19 @@ func (d *Driver) StepSlice(qps []float64, loadFrac, budgetW float64) (SliceRecor
 	var profResults []sim.PhaseResult
 	for attempt := 0; ; attempt++ {
 		profResults = make([]sim.PhaseResult, 0, len(profPhases))
-		for _, ph := range profPhases {
+		for wi, ph := range profPhases {
 			if ph.Dur <= 0 {
 				return SliceRecord{}, fmt.Errorf("harness: %s: profile phase with non-positive duration %v",
 					s.Name(), ph.Dur)
 			}
+			winT := t + elapsed
 			pr := run(ph.Alloc, ph.Dur, qps)
 			profResults = append(profResults, observe(t, pr, true))
 			accumulate(pr)
+			if traced {
+				d.scope.Emit(obs.Span(obs.SpanProfile, winT, ph.Dur).
+					With("window", obs.Itoa(wi)).With("attempt", obs.Itoa(attempt)))
+			}
 		}
 		if len(profPhases) == 0 || d.validator == nil ||
 			attempt >= MaxProfileRetries || d.validator.ValidateProfile(profResults) == nil {
@@ -592,8 +619,10 @@ func (d *Driver) StepSlice(qps []float64, loadFrac, budgetW float64) (SliceRecor
 	}
 
 	// 2. Decision.
+	decideWall := obs.BeginWall(d.obs)
 	alloc, overhead := s.DecideMulti(profResults, qps, budgetW)
-	rec.OverheadSec = overhead
+	decideWall.End(d.obs, "harness.decide")
+	d.chargeOverhead(&rec, t+elapsed, overhead)
 
 	// 3. Scheduling overhead: the machine keeps running under the
 	// previous allocation while the runtime computes.
@@ -602,12 +631,20 @@ func (d *Driver) StepSlice(qps []float64, loadFrac, budgetW float64) (SliceRecor
 		if d.prevAlloc != nil {
 			hold = *d.prevAlloc
 		}
+		holdT := t + elapsed
 		accumulate(run(hold, overhead, qps))
+		if traced {
+			d.scope.Emit(obs.Span(obs.SpanHold, holdT, overhead))
+		}
 	}
 
 	// 4. Steady state for the remainder of the slice.
 	if remain := SliceDur - elapsed; remain > 1e-9 {
+		steadyT := t + elapsed
 		steady := run(alloc, remain, qps)
+		if traced {
+			d.scope.Emit(obs.Span(obs.SpanSteady, steadyT, remain))
+		}
 		accumulate(steady)
 		rec.FailedCores = steady.FailedLC + steady.FailedBatch
 		s.EndSliceMulti(observe(t, steady, false), qps)
@@ -644,6 +681,11 @@ func (d *Driver) StepSlice(qps []float64, loadFrac, budgetW float64) (SliceRecor
 	rec.LCCores = alloc.LCCores
 	rec.LCCoreCfg = alloc.LCCore.String()
 	rec.LCCacheWays = alloc.LCCache.Ways()
+	if traced {
+		d.emitSliceTelemetry(&rec)
+	}
+	sliceWall.End(d.obs, "harness.slice")
+	d.sliceIdx++
 	return rec, nil
 }
 

@@ -151,9 +151,13 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
-// Prediction is a fully reconstructed matrix.
+// Prediction is a fully reconstructed matrix. Iters and Observed
+// record the reconstruction's work — SGD epochs run and observed cells
+// anchoring the fit — for observability; they do not affect values.
 type Prediction struct {
 	Rows, Cols int
+	Iters      int
+	Observed   int
 	vals       []float64
 }
 
@@ -201,10 +205,11 @@ func reconstruct(m *Matrix, p Params, parallel bool) *Prediction {
 			sum += v
 		}
 	}
-	pred := &Prediction{Rows: m.Rows, Cols: m.Cols, vals: make([]float64, m.Rows*m.Cols)}
+	pred := &Prediction{Rows: m.Rows, Cols: m.Cols, Observed: len(entries), vals: make([]float64, m.Rows*m.Cols)}
 	if len(entries) == 0 {
 		return pred
 	}
+	pred.Iters = p.MaxIter
 	mu := sum / float64(len(entries))
 
 	f := p.Factors
