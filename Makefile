@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench chaos fleet trace bench-obs lint fmt ci
+.PHONY: build test race vet bench chaos fleet trace bench-obs bench-decide lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,12 @@ trace:
 		-trace trace/trace.jsonl -chrome trace/trace.chrome.json \
 		-prom trace/metrics.prom -o trace/summary.json
 	$(GO) run ./cmd/trace trace/trace.jsonl
+
+# Regenerate the seeded decision-loop fast-path audit (EXPERIMENTS.md):
+# per-cell search work counters plus bit-equivalence verdicts against
+# the reference search and serial SGD.
+bench-decide:
+	$(GO) run ./cmd/decide -slices 10 -o BENCH_decide.json
 
 # Regenerate the seeded trace-summary regression artifact.
 bench-obs:

@@ -249,7 +249,7 @@ func benchFleet(b *testing.B, n, workers int) *cuttlesys.Fleet {
 		})
 		nodes[i] = cuttlesys.FleetNode{
 			Machine:   m,
-			Scheduler: cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: seeds[i], SGD: cuttlesys.SGDParams{Workers: 1}}),
+			Scheduler: cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{Seed: seeds[i], SGD: cuttlesys.SGDParams{Deterministic: true}}),
 		}
 	}
 	f, err := cuttlesys.NewFleet(cuttlesys.FleetConfig{

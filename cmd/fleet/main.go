@@ -9,7 +9,8 @@
 //
 // Every run is deterministic: a fixed -seed produces a byte-identical
 // report regardless of GOMAXPROCS, because machine stepping merges in
-// index order and each machine's SGD runs single-worker.
+// index order and each machine's SGD runs in deterministic-parallel
+// mode (bit-identical to the serial sweep at any processor count).
 //
 // With any of -trace, -chrome or -prom set, the sweep is replaced by
 // one traced fleet chaos run (QoS-aware router, headroom arbiter, a
@@ -221,9 +222,10 @@ func traced(service string, machines, slices int, load, capFrac float64, seed ui
 }
 
 // buildFleet assembles n machines running the CuttleSys runtime.
-// SGD is pinned to one worker per machine so the report does not
-// depend on GOMAXPROCS; the fleet's own parallelism is across
-// machines and merges deterministically.
+// SGD runs in deterministic-parallel mode: reconstructions use all
+// available processors yet stay bit-identical to the serial sweep, so
+// the report does not depend on GOMAXPROCS; the fleet's own
+// parallelism is across machines and merges deterministically.
 func buildFleet(service string, n int, seed uint64, pol policy, faultMachine int, events []cuttlesys.FaultEvent) (*cuttlesys.Fleet, error) {
 	lc, err := cuttlesys.AppByName(service)
 	if err != nil {
@@ -240,7 +242,7 @@ func buildFleet(service string, n int, seed uint64, pol policy, faultMachine int
 		})
 		rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{
 			Seed: seeds[i],
-			SGD:  cuttlesys.SGDParams{Workers: 1},
+			SGD:  cuttlesys.SGDParams{Deterministic: true},
 		})
 		nodes[i] = cuttlesys.FleetNode{Machine: m, Scheduler: rt}
 		if i == faultMachine%n && len(events) > 0 {

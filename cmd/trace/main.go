@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 
 	"cuttlesys/internal/obs"
 )
@@ -84,6 +86,78 @@ func convert(w io.Writer, events []obs.Event, chrome, summary bool, top int) err
 		_, err = w.Write(buf)
 		return err
 	default:
-		return obs.Summarize(events, top).WriteText(w)
+		if err := obs.Summarize(events, top).WriteText(w); err != nil {
+			return err
+		}
+		return writeSearchCost(w, events)
 	}
+}
+
+// searchCost aggregates one search algorithm's controller work across
+// the trace's core.search instants.
+type searchCost struct {
+	algo       string
+	count      int
+	evals      int64
+	dimsScored int64
+}
+
+// writeSearchCost appends the controller-cost section to the human
+// summary: per algorithm, how many searches ran, how many objective
+// evaluations they performed and how many per-dimension contributions
+// the evaluator actually scored — the incremental fast path's dims per
+// evaluation sits well below the full dimension count (DESIGN.md §11).
+// The section lives only in the text form; the JSON summary
+// (obs.Summary) is a frozen regression artifact and stays unchanged.
+func writeSearchCost(w io.Writer, events []obs.Event) error {
+	byAlgo := map[string]*searchCost{}
+	for _, e := range events {
+		if e.Name != obs.EventSearch {
+			continue
+		}
+		var algo string
+		var evals, dims int64
+		for i := 0; i < e.Attrs.Len(); i++ {
+			a := e.Attrs.At(i)
+			switch a.Key {
+			case "algo":
+				algo = a.Val
+			case "evals":
+				evals, _ = strconv.ParseInt(a.Val, 10, 64)
+			case "dims":
+				dims, _ = strconv.ParseInt(a.Val, 10, 64)
+			}
+		}
+		c := byAlgo[algo]
+		if c == nil {
+			c = &searchCost{algo: algo}
+			byAlgo[algo] = c
+		}
+		c.count++
+		c.evals += evals
+		c.dimsScored += dims
+	}
+	if len(byAlgo) == 0 {
+		return nil
+	}
+	costs := make([]*searchCost, 0, len(byAlgo))
+	for _, c := range byAlgo {
+		costs = append(costs, c)
+	}
+	sort.Slice(costs, func(i, j int) bool { return costs[i].algo < costs[j].algo })
+	if _, err := fmt.Fprintf(w, "\ncontroller search cost:\n"); err != nil {
+		return err
+	}
+	for _, c := range costs {
+		perEval := 0.0
+		if c.evals > 0 {
+			perEval = float64(c.dimsScored) / float64(c.evals)
+		}
+		_, err := fmt.Fprintf(w, "  %-6s %4d searches %10d evals %12d dims scored %6.2f dims/eval\n",
+			c.algo, c.count, c.evals, c.dimsScored, perEval)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

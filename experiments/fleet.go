@@ -103,8 +103,8 @@ func routerFor(name string) (fleet.Router, error) {
 
 // FleetScaling sweeps fleet size × routing policy under the headroom
 // budget arbiter. Every machine runs the full CuttleSys runtime with
-// single-worker SGD, so rows are deterministic for a fixed seed
-// regardless of GOMAXPROCS.
+// deterministic-parallel SGD, so rows are deterministic for a fixed
+// seed regardless of GOMAXPROCS.
 func FleetScaling(s FleetSetup) ([]FleetRow, error) {
 	s = s.withDefaults()
 	lc, err := workload.ByName(s.Service)
@@ -128,12 +128,12 @@ func FleetScaling(s FleetSetup) ([]FleetRow, error) {
 					Batch:          workload.Mix(seeds[i], pool, 16),
 					Reconfigurable: true,
 				})
-				// SGD pinned to one worker: the fleet's parallelism is
-				// across machines, and HOGWILD inside a machine would
-				// make rows depend on GOMAXPROCS.
+				// Deterministic SGD: HOGWILD inside a machine would make
+				// rows depend on GOMAXPROCS; the wavefront trainer is
+				// bit-identical to serial at any processor count.
 				specs[i] = fleet.NodeSpec{
 					Machine:   m,
-					Scheduler: core.New(m, core.Params{Seed: seeds[i], SGD: sgd.Params{Workers: 1}}),
+					Scheduler: core.New(m, core.Params{Seed: seeds[i], SGD: sgd.Params{Deterministic: true}}),
 				}
 				if !s.FaultFree && n > 1 && i == 1 {
 					span := float64(s.Slices) * harness.SliceDur

@@ -63,7 +63,8 @@ func (s ObsTraceSetup) withDefaults() ObsTraceSetup {
 // recorder holding its trace, metrics and profile alongside the fleet
 // result. Every simulated-time export from the recorder is
 // byte-deterministic for a fixed setup at any GOMAXPROCS: machines
-// run single-worker SGD and the recorder orders events canonically.
+// run deterministic-parallel SGD and the recorder orders events
+// canonically.
 func RunObsTrace(s ObsTraceSetup) (*obs.Recorder, *fleet.Result, error) {
 	s = s.withDefaults()
 	lc, err := workload.ByName(s.Service)
@@ -82,11 +83,12 @@ func RunObsTrace(s ObsTraceSetup) (*obs.Recorder, *fleet.Result, error) {
 			Batch:          workload.Mix(seeds[i], pool, 16),
 			Reconfigurable: true,
 		})
-		// Single-worker SGD: traced runs promise byte-identical output
-		// across GOMAXPROCS, so intra-machine HOGWILD is pinned off.
+		// Deterministic SGD: traced runs promise byte-identical output
+		// across GOMAXPROCS, so intra-machine HOGWILD is replaced by the
+		// serial-equivalent wavefront trainer.
 		specs[i] = fleet.NodeSpec{
 			Machine:   m,
-			Scheduler: core.New(m, core.Params{Seed: seeds[i], SGD: sgd.Params{Workers: 1}}),
+			Scheduler: core.New(m, core.Params{Seed: seeds[i], SGD: sgd.Params{Deterministic: true}}),
 		}
 		if !s.FaultFree && s.Machines > 1 && i == 1 {
 			// The window closes at 2/3 of the run so the recover instant

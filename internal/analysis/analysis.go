@@ -34,7 +34,7 @@ type Analyzer struct {
 
 // Analyzers returns the full cuttlelint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, Seedflow, Floatsafe, Errdrop, Obsclean}
+	return []*Analyzer{Determinism, Seedflow, Floatsafe, Errdrop, Obsclean, Hotpath}
 }
 
 // A Pass is one analyzer applied to one package.

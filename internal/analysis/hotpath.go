@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Hotpath guards the decision loop's per-candidate cost model: a
+// function whose doc comment carries a //hot:path directive declares
+// itself part of the per-evaluation fast path (DESIGN.md §11), where
+// the budget is pure arithmetic — no transcendental log calls, no
+// allocation, no map walks. The check flags math.Log and friends
+// (precompute them into the score tables), the allocating builtins
+// make/new/append and composite literals (hoist buffers into
+// per-worker state), and map iteration (nondeterministic order and
+// hash-walk cost per call). The marker is the gofmt-stable directive
+// form:
+//
+//	//hot:path <why this function is on the eval path>
+//
+// Unmarked functions are never flagged; the check enforces a promise a
+// function makes about itself, not a global style.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "no log calls, allocation or map iteration in //hot:path-marked functions",
+	Run:  runHotpath,
+}
+
+// hotMarker is the directive prefix, matched after the // with no
+// leading space — the gofmt directive-comment form.
+const hotMarker = "hot:path"
+
+func runHotpath(p *Pass) {
+	if p.Pkg.ForTest {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotMarked(fd) {
+				continue
+			}
+			checkHotBody(p, fd)
+		}
+	}
+}
+
+// hotMarked reports whether the function's doc comment carries a
+// //hot:path directive line.
+func hotMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if text, ok := strings.CutPrefix(c.Text, "//"); ok &&
+			strings.HasPrefix(strings.TrimSpace(text), hotMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotLogCalls are the math transcendentals the score tables exist to
+// precompute. math.Exp stays legal: the objective's final fold is one
+// Exp per candidate by construction and cannot be tabulated.
+var hotLogCalls = map[string]bool{"Log": true, "Log2": true, "Log10": true, "Log1p": true}
+
+func checkHotBody(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					p.Reportf(n.Pos(), "map iteration in hot-path function %s: nondeterministic order and hash-walk cost per call", name)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "new", "append":
+						p.Reportf(n.Pos(), "%s in hot-path function %s allocates per call; hoist the buffer into per-worker state", b.Name(), name)
+					}
+				}
+			}
+			if fn := calleeFunc(info, n); fn != nil && pkgPath(fn) == "math" && hotLogCalls[fn.Name()] {
+				p.Reportf(n.Pos(), "math.%s in hot-path function %s; precompute it into the score tables", fn.Name(), name)
+			}
+		case *ast.CompositeLit:
+			p.Reportf(n.Pos(), "composite literal in hot-path function %s constructs a fresh value per call; hoist it into per-worker state", name)
+		}
+		return true
+	})
+}

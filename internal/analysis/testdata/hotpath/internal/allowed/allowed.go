@@ -1,0 +1,18 @@
+// Package allowed demonstrates a waived hotpath finding.
+package allowed
+
+// Score is on the eval path but reloads its scratch lazily; the waiver
+// records why the allocation cannot recur.
+//
+//hot:path called once per candidate inside the search inner loop
+func Score(rows [][]float64, x []int, scratch *[]float64) float64 {
+	if *scratch == nil {
+		//lint:allow hotpath one-time lazy init; every later call reuses the scratch buffer
+		*scratch = make([]float64, 4)
+	}
+	s := (*scratch)[0]
+	for d, j := range x {
+		s += rows[d][j]
+	}
+	return s
+}

@@ -1,0 +1,20 @@
+// Package bad breaks every hot-path promise it makes.
+package bad
+
+import "math"
+
+// Score folds the objective for one candidate.
+//
+//hot:path called once per candidate inside the search inner loop
+func Score(terms map[int][]float64, x []int) float64 {
+	acc := make([]float64, 4)
+	for _, row := range terms {
+		acc = append(acc, row[0])
+	}
+	s := 0.0
+	for _, a := range acc {
+		s += math.Log(a)
+	}
+	w := []float64{s}
+	return math.Log1p(w[0])
+}

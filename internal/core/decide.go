@@ -76,7 +76,6 @@ func (rt *Runtime) DecideMulti(profile []sim.PhaseResult, qps []float64, budgetW
 	var best []int
 	if nBatch > 0 {
 		searchWall := obs.BeginWall(c)
-		obj := rt.objective(thr, pwr, lcRes, budgetW)
 		searchSeed := rt.p.Seed + uint64(rt.slice)*7919
 		var init [][]int
 		if rt.lastAlloc != nil && !rt.p.DisableWarmStart {
@@ -90,7 +89,9 @@ func (rt *Runtime) DecideMulti(profile []sim.PhaseResult, qps []float64, budgetW
 			init = [][]int{prev}
 		}
 		algo, evals := "dds", 0
+		dimsScored := 0
 		if rt.p.Searcher == SearchGA {
+			obj := rt.objective(thr, pwr, lcRes, budgetW)
 			r := ga.Search(ga.Objective(obj), ga.Params{
 				Dims:       nBatch,
 				NumConfigs: config.NumResources,
@@ -98,19 +99,31 @@ func (rt *Runtime) DecideMulti(profile []sim.PhaseResult, qps []float64, budgetW
 				Init:       init,
 			})
 			best, evals, algo = r.Best, r.Evals, "ga"
+			dimsScored = r.Evals * nBatch
 		} else {
 			params := rt.p.DDS
 			params.Dims = nBatch
 			params.NumConfigs = config.NumResources
 			params.Seed = searchSeed
 			params.Init = init
-			r := dds.Search(obj, params)
+			var r dds.Result
+			if rt.p.ReferenceSearch {
+				// Pre-fast-path engine + closure objective, preserved
+				// for equivalence tests and benchmark baselines.
+				r = dds.SearchReference(rt.objective(thr, pwr, lcRes, budgetW), params)
+			} else {
+				r = dds.SearchSeparable(rt.separableObjective(thr, pwr, lcRes, budgetW), params)
+			}
 			best, evals = r.Best, r.Evals
+			dimsScored = r.DimsScored
 		}
 		searchWall.End(c, "core.search")
 		if traced {
-			c.Emit(obs.Mark(obs.EventSearch).With("algo", algo).With("evals", obs.Itoa(evals)))
+			c.Emit(obs.Mark(obs.EventSearch).With("algo", algo).With("evals", obs.Itoa(evals)).
+				With("dims", obs.Itoa(dimsScored)))
 			c.Add(obs.MetricSearchEvals, obs.Label("algo", algo), float64(evals))
+			c.Add(obs.MetricSearchDims, obs.Label("algo", algo), float64(dimsScored))
+			c.Add(obs.MetricSearchDimsSaved, obs.Label("algo", algo), float64(evals*nBatch-dimsScored))
 		}
 	}
 

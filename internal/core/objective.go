@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/dds"
+	"cuttlesys/internal/power"
+	"cuttlesys/internal/sgd"
+)
+
+// The batch objective (§VI-A) is separable: it folds per-job
+// contributions into four running accumulators — log-throughput sum,
+// power draw, cache ways, half-way count — and applies the geometric
+// mean and soft penalties at the end. separableObjective precomputes
+// every contribution once per decision quantum as a score table, so a
+// DDS evaluation becomes pure table additions: no math.Log, no
+// config.ResourceByIndex, no allocation on the eval path. The closure
+// form (objective, decide.go) is retained as the reference
+// implementation; Params.ReferenceSearch routes the search through it,
+// and equivalence tests pin the two bit-identical.
+const (
+	accLogThr = 0 // Σ log(max(thr, 1e-9)) over batch jobs
+	accPower  = 1 // fixed power + Σ per-job power
+	accWays   = 2 // LC ways + Σ full-way allocations
+	accHalves = 3 // count of half-way allocations (integer-valued)
+	numAccums = 4
+)
+
+// waysTab and halfTab decode each resource index's cache allocation
+// once, at package init: waysTab[j] is the full-way count (0 for a
+// half-way config), halfTab[j] is 1 for a half-way config. Adding the
+// 0.0 entries is bit-safe — no term is −0.0, so x + 0.0 == x exactly —
+// which keeps the table fold identical to the closure's conditional
+// accumulation.
+var (
+	waysTab [config.NumResources]float64
+	halfTab [config.NumResources]float64
+)
+
+func init() {
+	for j := 0; j < config.NumResources; j++ {
+		//lint:allow floatsafe config.Cache is a discrete enum encoded as float64; equality is identity
+		if c := config.ResourceByIndex(j).Cache; c == config.HalfWay {
+			halfTab[j] = 1
+		} else {
+			waysTab[j] = c.Ways()
+		}
+	}
+}
+
+// separableObjective builds the score-table form of objective for the
+// current slice. The tables are rebuilt every call (the predictions
+// change each quantum) into scratch retained on the Runtime, so
+// steady-state slices allocate only the Finish closure. It must return
+// bit-identical scores to objective(thr, pwr, lcRes, budgetW) for
+// every decision vector.
+func (rt *Runtime) separableObjective(thr, pwr *sgd.Prediction, lcRes []config.Resource, budgetW float64) *dds.SeparableObjective {
+	nBatch := len(rt.batch)
+	fixedPower := power.LLCWayW*config.LLCWays + power.UncorePerCoreW*float64(rt.nCores)
+	lcWays := 0.0
+	lcHalf := 0
+	for k, sv := range rt.svcs {
+		fixedPower += float64(sv.cores) * sv.predPwr
+		//lint:allow floatsafe config.Cache is a discrete enum encoded as float64; equality is identity
+		if lcRes[k].Cache == config.HalfWay {
+			lcHalf++
+		} else {
+			lcWays += lcRes[k].Cache.Ways()
+		}
+	}
+
+	if cap(rt.sepTerms) < nBatch {
+		rt.sepTerms = make([][]float64, nBatch)
+	}
+	rt.sepTerms = rt.sepTerms[:nBatch]
+	for i := 0; i < nBatch; i++ {
+		if rt.sepTerms[i] == nil {
+			rt.sepTerms[i] = make([]float64, config.NumResources*numAccums)
+		}
+		thrRow := thr.Row(rt.batchRow(i))
+		pwrRow := pwr.Row(rt.batchRow(i))
+		t := rt.sepTerms[i]
+		for j := 0; j < config.NumResources; j++ {
+			t[j*numAccums+accLogThr] = math.Log(math.Max(thrRow[j], 1e-9))
+			t[j*numAccums+accPower] = pwrRow[j]
+			t[j*numAccums+accWays] = waysTab[j]
+			t[j*numAccums+accHalves] = halfTab[j]
+		}
+	}
+
+	rt.sepBase = append(rt.sepBase[:0], 0, fixedPower, lcWays, float64(lcHalf))
+	nBatchF := float64(nBatch)
+	penPower, penCache := rt.p.PenaltyPower, rt.p.PenaltyCache
+	rt.sepObj = dds.SeparableObjective{
+		K:     numAccums,
+		Base:  rt.sepBase,
+		Terms: rt.sepTerms,
+		Finish: func(acc []float64) float64 {
+			return finishObjective(acc, nBatchF, budgetW, penPower, penCache)
+		},
+	}
+	return &rt.sepObj
+}
+
+// finishObjective folds the accumulator vector into the score with the
+// same operations, in the same order, as the closure in objective:
+// half-way rounding, geometric mean, power penalty, cache penalty.
+//
+//hot:path objective fold — pure arithmetic, no logs, no allocation
+func finishObjective(acc []float64, nBatch, budgetW, penPower, penCache float64) float64 {
+	ways := acc[accWays] + float64((int(acc[accHalves])+1)/2)
+	//lint:allow floatsafe nBatch is the batch job count, ≥ 1 whenever a search runs
+	obj := math.Exp(acc[accLogThr] / nBatch)
+	if over := acc[accPower] - budgetW; over > 0 {
+		obj -= penPower * over
+	}
+	if over := ways - config.LLCWays; over > 0 {
+		obj -= penCache * over
+	}
+	return obj
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled is false in a build without the race detector.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with -race: the full
+// equivalence sweep is ~15x slower under the detector, so it shrinks
+// to a representative corner while the engines' concurrency is race-
+// tested directly in internal/dds and internal/sgd.
+const raceEnabled = true

@@ -98,6 +98,12 @@ type Params struct {
 	// parallel DDS (the paper's choice) or the genetic algorithm used
 	// for the Fig. 10 comparison.
 	Searcher SearchAlgo
+	// ReferenceSearch routes the batch search through the preserved
+	// pre-fast-path implementation — the full closure objective under
+	// dds.SearchReference — instead of the table-driven incremental
+	// path. Decisions are bit-identical either way; equivalence tests
+	// and BenchmarkDecideLoop run both sides of this switch.
+	ReferenceSearch bool
 	// ProbeMargin inflates the predicted utilisation of configurations
 	// the running service has never been measured on: their predicted
 	// service time comes purely from the training variants, and an
@@ -266,6 +272,12 @@ type Runtime struct {
 	// obs receives decision-phase telemetry; Nop unless the driver
 	// attached a collector via SetCollector.
 	obs obs.Collector
+
+	// Fast-path scratch: separableObjective rebuilds the score tables
+	// into these each quantum so steady-state slices do not allocate.
+	sepTerms [][]float64
+	sepBase  []float64
+	sepObj   dds.SeparableObjective
 }
 
 var (

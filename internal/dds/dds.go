@@ -15,11 +15,30 @@
 // perturbation parameters r = (r1…r4) so they explore at different
 // scales (§VI-B). Worker 0 aggregates the per-worker bests between
 // barriers.
+//
+// Two objective forms are supported. A plain Objective is an opaque
+// function evaluated from scratch per candidate. A SeparableObjective
+// (see separable.go) is a precomputed score table that SearchSeparable
+// evaluates incrementally: each worker keeps prefix accumulators for
+// its local best and re-scores only from the first dimension perturb
+// actually changed — bit-identical to the full evaluation, because the
+// accumulation order is preserved, but an order of magnitude cheaper
+// in late iterations. Both entry points share one search engine, so
+// they consume the identical RNG stream and return identical results.
+//
+// The engine is lock-free on the hot path: eval counters, candidate
+// scratch and Record buffers are all per-worker (merged at each
+// iteration barrier in worker-index order, so Result.Points is
+// deterministic at any GOMAXPROCS), and logical workers are decoupled
+// from physical executors — at GOMAXPROCS=1 the whole search runs
+// inline with zero goroutines. SearchReference (reference.go) preserves
+// the pre-fast-path engine for equivalence tests and benchmarks.
 package dds
 
 import (
 	"math"
-	"sync"
+	"runtime"
+	"sync/atomic"
 
 	"cuttlesys/internal/rng"
 )
@@ -55,7 +74,8 @@ type Params struct {
 	// Seed drives all randomness.
 	Seed uint64
 	// Record retains every evaluated point in Result.Points — used by
-	// the Fig. 10a exploration comparison.
+	// the Fig. 10a exploration comparison. Points are ordered by
+	// (iteration, worker, point) regardless of GOMAXPROCS.
 	Record bool
 	// Init optionally provides starting points (e.g. the previous
 	// timeslice's allocation); each must have length Dims.
@@ -92,13 +112,67 @@ type Result struct {
 	Best    []int
 	BestVal float64
 	Evals   int
+	// DimsScored counts the per-dimension score contributions the
+	// search actually accumulated. Full evaluations score Dims
+	// dimensions per candidate (DimsScored == Evals·Dims); the
+	// incremental separable path scores only the suffix from the first
+	// perturbed dimension, so Evals·Dims − DimsScored is the work the
+	// fast path saved. Deterministic for a fixed seed.
+	DimsScored int
 	// Points holds every evaluated candidate when Params.Record is set.
 	Points []Point
 }
 
-// Search runs (parallel) DDS and returns the best point found. It
-// panics on invalid parameters.
+// Search runs (parallel) DDS over a plain objective and returns the
+// best point found. It panics on invalid parameters.
 func Search(obj Objective, params Params) Result {
+	return runSearch(params, plainEval{obj: obj})
+}
+
+// evaluator abstracts how the engine scores candidates: plain
+// objectives evaluate from scratch, separable objectives evaluate
+// incrementally against a per-worker parent prefix. Both must return
+// bit-identical values for identical candidates — the engine's control
+// flow (and therefore its RNG stream) never depends on which is used.
+type evaluator interface {
+	// full scores x from scratch. Serial phase only.
+	full(x []int) float64
+	// worker returns a per-worker evaluation context.
+	worker(dims int) workerEval
+}
+
+// workerEval is one worker's evaluation context.
+type workerEval interface {
+	// rebase fixes the parent point later eval calls diff against.
+	rebase(parent []int)
+	// eval scores cand. dmin is the first index at which cand may
+	// differ from the parent set by rebase; implementations may skip
+	// re-scoring dimensions below it.
+	eval(cand []int, dmin int) float64
+	// scored returns the dimension contributions accumulated so far.
+	scored() int64
+}
+
+// plainEval adapts an opaque Objective: every eval is a full call.
+type plainEval struct{ obj Objective }
+
+func (e plainEval) full(x []int) float64  { return e.obj(x) }
+func (e plainEval) worker(int) workerEval { return &plainWorker{obj: e.obj} }
+
+type plainWorker struct {
+	obj  Objective
+	dims int64
+}
+
+func (w *plainWorker) rebase([]int) {}
+func (w *plainWorker) eval(cand []int, _ int) float64 {
+	w.dims += int64(len(cand))
+	return w.obj(cand)
+}
+func (w *plainWorker) scored() int64 { return w.dims }
+
+// runSearch is the engine shared by Search and SearchSeparable.
+func runSearch(params Params, ev evaluator) Result {
 	p := params.withDefaults()
 	if p.Dims <= 0 || p.NumConfigs <= 0 {
 		panic("dds: Dims and NumConfigs must be positive")
@@ -111,24 +185,13 @@ func Search(obj Objective, params Params) Result {
 
 	root := rng.New(p.Seed)
 	var (
-		mu    sync.Mutex
-		rec   []Point
-		evals int
+		evals  int64
+		scored int64
+		rec    []Point
 	)
-	eval := func(x []int) float64 {
-		v := obj(x)
-		mu.Lock()
-		evals++
-		if p.Record {
-			cp := make([]int, len(x))
-			copy(cp, x)
-			rec = append(rec, Point{X: cp, Val: v})
-		}
-		mu.Unlock()
-		return v
-	}
 
 	// Initial random set (plus any seeded points), best becomes xbest.
+	// This phase is serial: evaluations append to rec directly.
 	best := make([]int, p.Dims)
 	bestVal := math.Inf(-1)
 	consider := func(x []int, v float64) {
@@ -137,15 +200,26 @@ func Search(obj Objective, params Params) Result {
 			copy(best, x)
 		}
 	}
+	evalSerial := func(x []int) float64 {
+		v := ev.full(x)
+		evals++
+		scored += int64(p.Dims)
+		if p.Record {
+			cp := make([]int, len(x))
+			copy(cp, x)
+			rec = append(rec, Point{X: cp, Val: v})
+		}
+		return v
+	}
 	for _, x := range p.Init {
-		consider(x, eval(x))
+		consider(x, evalSerial(x))
 	}
 	for i := len(p.Init); i < p.InitialPoints; i++ {
 		x := make([]int, p.Dims)
 		for d := range x {
 			x[d] = root.Intn(p.NumConfigs)
 		}
-		consider(x, eval(x))
+		consider(x, evalSerial(x))
 	}
 
 	workers := p.Workers
@@ -155,55 +229,156 @@ func Search(obj Objective, params Params) Result {
 	}
 
 	type localBest struct {
-		x   []int
-		val float64
+		x     []int
+		val   float64
+		evals int64
 	}
 	locals := make([]localBest, workers)
+	workerEvals := make([]workerEval, workers)
+	cands := make([][]int, workers)
+	var recBufs [][]Point
+	if p.Record {
+		recBufs = make([][]Point, workers)
+	}
 	for w := range locals {
 		locals[w] = localBest{x: make([]int, p.Dims)}
+		workerEvals[w] = ev.worker(p.Dims)
+		cands[w] = make([]int, p.Dims)
 	}
 
-	for iter := 1; iter <= p.MaxIter; iter++ {
+	// runWorkerIter runs logical worker w's candidate batch for one
+	// iteration. It is self-contained — it reads the shared best (fixed
+	// for the whole iteration), consumes only worker w's RNG stream, and
+	// writes only worker w's state — so its output does not depend on
+	// which executor runs it, or when.
+	runWorkerIter := func(w, iter int) {
+		r := workerRNGs[w]
+		// Worker groups use different perturbation scales.
+		rw := p.R[w*len(p.R)/workers]
+		lb := &locals[w]
+		we := workerEvals[w]
+		cand := cands[w]
 		// Inclusion probability shrinks with iteration (Alg. 2 line 10).
 		prob := 1 - math.Log(float64(iter))/math.Log(float64(p.MaxIter))
 		if p.MaxIter == 1 {
 			prob = 1
 		}
-
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				r := workerRNGs[w]
-				// Worker groups use different perturbation scales.
-				rw := p.R[w*len(p.R)/workers]
-				lb := &locals[w]
-				copy(lb.x, best)
-				lb.val = bestVal
-				cand := make([]int, p.Dims)
-				for pt := 0; pt < p.PointsPerIter; pt++ {
-					copy(cand, lb.x)
-					perturbed := false
-					for d := 0; d < p.Dims; d++ {
-						if r.Float64() < prob {
-							cand[d] = perturb(r, lb.x[d], rw, p.NumConfigs)
-							perturbed = true
-						}
-					}
-					if !perturbed {
-						// Alg. 2 perturbs at least one dimension.
-						d := r.Intn(p.Dims)
-						cand[d] = perturb(r, lb.x[d], rw, p.NumConfigs)
-					}
-					if v := eval(cand); v > lb.val {
-						lb.val = v
-						copy(lb.x, cand)
+		// The inclusion test compares the raw 53-bit draw against
+		// prob·2⁵³ instead of dividing every draw down to [0,1):
+		// both sides scale by an exact power of two, so the comparison
+		// is bit-for-bit the Float64() < prob of the reference engine,
+		// minus one division per dimension per candidate.
+		probScaled := prob * (1 << 53)
+		copy(lb.x, best)
+		lb.val = bestVal
+		we.rebase(lb.x)
+		for pt := 0; pt < p.PointsPerIter; pt++ {
+			copy(cand, lb.x)
+			// dmin tracks the first dimension that actually changed, so
+			// incremental evaluators reuse the parent prefix below it.
+			dmin := p.Dims
+			perturbed := false
+			for d := 0; d < p.Dims; d++ {
+				if float64(r.Uint64()>>11) < probScaled {
+					cand[d] = perturb(r, lb.x[d], rw, p.NumConfigs)
+					perturbed = true
+					if cand[d] != lb.x[d] && d < dmin {
+						dmin = d
 					}
 				}
-			}(w)
+			}
+			if !perturbed {
+				// Alg. 2 perturbs at least one dimension.
+				d := r.Intn(p.Dims)
+				cand[d] = perturb(r, lb.x[d], rw, p.NumConfigs)
+				if cand[d] != lb.x[d] && d < dmin {
+					dmin = d
+				}
+			}
+			v := we.eval(cand, dmin)
+			lb.evals++
+			if p.Record {
+				cp := make([]int, len(cand))
+				copy(cp, cand)
+				recBufs[w] = append(recBufs[w], Point{X: cp, Val: v})
+			}
+			if v > lb.val {
+				lb.val = v
+				copy(lb.x, cand)
+				we.rebase(lb.x)
+			}
 		}
-		wg.Wait() // barrier (Alg. 2 line 18)
+	}
+
+	// Logical workers are decoupled from physical executors. Worker
+	// batches within an iteration are independent, so nExec executors
+	// pull worker indices from an atomic counter; any assignment of
+	// workers to executors yields bit-identical results, which keeps the
+	// search GOMAXPROCS-invariant. With a single executor (GOMAXPROCS=1,
+	// or Workers=1) the whole search runs inline on the calling
+	// goroutine — no spawns, no barrier traffic, no spinning — which is
+	// exactly the configuration the per-slice decision loop hits on a
+	// loaded machine. With more, nExec−1 persistent executors park on a
+	// channel between iterations (blocked, not spinning) and the caller
+	// works alongside them.
+	nExec := workers
+	if mp := runtime.GOMAXPROCS(0); nExec > mp {
+		nExec = mp
+	}
+	var (
+		nextWorker atomic.Int64
+		curIter    int
+		iterCh     chan struct{}
+		doneCh     chan struct{}
+	)
+	runBatch := func() {
+		for {
+			w := int(nextWorker.Add(1) - 1)
+			if w >= workers {
+				return
+			}
+			runWorkerIter(w, curIter)
+		}
+	}
+	if nExec > 1 {
+		iterCh = make(chan struct{}, nExec-1)
+		doneCh = make(chan struct{}, nExec-1)
+		for e := 0; e < nExec-1; e++ {
+			go func() {
+				for range iterCh {
+					runBatch()
+					doneCh <- struct{}{}
+				}
+			}()
+		}
+		defer close(iterCh)
+	}
+
+	for iter := 1; iter <= p.MaxIter; iter++ {
+		curIter = iter
+		nextWorker.Store(0)
+		if nExec > 1 {
+			for e := 0; e < nExec-1; e++ {
+				iterCh <- struct{}{}
+			}
+		}
+		runBatch()
+		if nExec > 1 {
+			for e := 0; e < nExec-1; e++ {
+				<-doneCh
+			}
+		}
+		// barrier reached (Alg. 2 line 18)
+
+		// Merge the per-worker Record buffers in worker-index order:
+		// Points ordering is (iteration, worker, point), independent of
+		// goroutine interleaving.
+		if p.Record {
+			for w := range recBufs {
+				rec = append(rec, recBufs[w]...)
+				recBufs[w] = recBufs[w][:0]
+			}
+		}
 
 		// Worker 0's role: aggregate per-worker bests (Alg. 2 lines 19-20).
 		for w := 0; w < workers; w++ {
@@ -214,17 +389,52 @@ func Search(obj Objective, params Params) Result {
 		}
 	}
 
-	return Result{Best: best, BestVal: bestVal, Evals: evals, Points: rec}
+	for w := range locals {
+		evals += locals[w].evals
+	}
+	for _, we := range workerEvals {
+		scored += we.scored()
+	}
+	return Result{Best: best, BestVal: bestVal, Evals: int(evals), DimsScored: int(scored), Points: rec}
 }
 
+// maxReflect bounds the reflection loop: a sane perturbation needs a
+// handful of reflections (|v| ≤ rw·n·8.6σ shrinks by 2(n−1) per round
+// trip), so hitting the bound means the scale was pathological and the
+// draw clamps to the violated bound instead of walking back.
+const maxReflect = 1000
+
 // perturb draws x + r·n·N(0,1) and reflects out-of-range values about
-// the violated bound (Alg. 2 lines 13-15).
+// the violated bound (Alg. 2 lines 13-15). Exactly one Norm variate is
+// consumed on every path, so guard clamps never shift the RNG stream.
+//
+//hot:path per-candidate perturbation — no logs, no allocation
 func perturb(r *rng.RNG, x int, rw float64, n int) int {
 	if n == 1 {
 		return 0
 	}
 	v := float64(x) + rw*float64(n)*r.Norm()
-	for v < 0 || v >= float64(n) {
+	// A non-finite draw (an overflowing rw·n scale) would spin the
+	// reflection loop forever: reflecting ±Inf yields ∓Inf, and NaN
+	// compares false with every bound. Clamp instead of reflecting.
+	switch {
+	case math.IsNaN(v):
+		v = float64(x)
+	case math.IsInf(v, 1):
+		v = float64(n - 1)
+	case math.IsInf(v, -1):
+		v = 0
+	}
+	for i := 0; v < 0 || v >= float64(n); i++ {
+		if i >= maxReflect {
+			// Finite but absurd magnitude: clamp to the violated bound.
+			if v < 0 {
+				v = 0
+			} else {
+				v = float64(n - 1)
+			}
+			break
+		}
 		if v < 0 {
 			v = -v
 		}

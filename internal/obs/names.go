@@ -46,7 +46,7 @@ const (
 	// service, cfg, ways).
 	EventScan = "core.scan"
 	// EventSearch records the design-space exploration (attrs: algo,
-	// evals).
+	// evals, dims — the dimension scores the evaluator accumulated).
 	EventSearch = "core.search"
 	// EventGate marks budget enforcement gating batch jobs (attr:
 	// jobs).
@@ -78,11 +78,16 @@ const (
 	MetricSGDIters    = "cuttlesys_core_sgd_iterations_total"
 	MetricSGDObserved = "cuttlesys_core_sgd_observed_cells"
 	MetricSearchEvals = "cuttlesys_core_search_evals_total"
-	MetricFallbacks   = "cuttlesys_core_fallback_slices_total"
-	MetricGatedJobs   = "cuttlesys_core_gated_jobs"
-	MetricLCCores     = "cuttlesys_core_lc_cores"
-	MetricLCWays      = "cuttlesys_core_lc_ways"
-	MetricBatchWays   = "cuttlesys_core_batch_ways"
+	// Search fast-path cost accounting: dimension scores the incremental
+	// evaluator actually accumulated, and the scores it skipped relative
+	// to full evaluation (evals × dims − scored).
+	MetricSearchDims      = "cuttlesys_core_search_dims_scored_total"
+	MetricSearchDimsSaved = "cuttlesys_core_search_dims_saved_total"
+	MetricFallbacks       = "cuttlesys_core_fallback_slices_total"
+	MetricGatedJobs       = "cuttlesys_core_gated_jobs"
+	MetricLCCores         = "cuttlesys_core_lc_cores"
+	MetricLCWays          = "cuttlesys_core_lc_ways"
+	MetricBatchWays       = "cuttlesys_core_batch_ways"
 
 	// Fleet serial sections (cluster scope: no machine label).
 	MetricFleetSlices         = "cuttlesys_fleet_slices_total"

@@ -111,6 +111,16 @@ type Params struct {
 	// Workers is the number of lock-free parallel workers used by
 	// ReconstructParallel; 0 means GOMAXPROCS capped at 8.
 	Workers int
+	// Deterministic makes ReconstructParallel use the wavefront
+	// scheduler instead of the HOGWILD! trainer: observations are
+	// sharded into contiguous row blocks and every update waits for the
+	// previous toucher of its column, so each SGD step reads exactly the
+	// state the serial sweep would have produced. The reconstruction is
+	// bit-identical to Reconstruct at any worker count and GOMAXPROCS —
+	// parallelism becomes a pure performance knob. Fleet-scale callers
+	// that previously pinned Workers to 1 for reproducibility should set
+	// this instead.
+	Deterministic bool
 	// LogSpace trains on log(v): tail latency spans four orders of
 	// magnitude across configurations and loads, and the relative-error
 	// objective the paper reports is additive in log space.
@@ -178,7 +188,9 @@ func Reconstruct(m *Matrix, params Params) *Prediction {
 	return reconstruct(m, params.withDefaults(), false)
 }
 
-// ReconstructParallel runs the lock-free parallel variant (§V).
+// ReconstructParallel runs the parallel variant (§V): the lock-free
+// HOGWILD! trainer by default, or — with Params.Deterministic — the
+// wavefront trainer whose result is bit-identical to Reconstruct.
 func ReconstructParallel(m *Matrix, params Params) *Prediction {
 	return reconstruct(m, params.withDefaults(), true)
 }
@@ -247,9 +259,12 @@ func reconstruct(m *Matrix, p Params, parallel bool) *Prediction {
 		}
 	}
 
-	if parallel {
+	switch {
+	case parallel && p.Deterministic:
+		trainWavefront(entries, p, mu, f, q, pc, rowBias, colBias, biasOnly)
+	case parallel:
 		trainParallel(entries, p, mu, f, m.Rows, q, pc, rowBias, colBias, biasOnly)
-	} else {
+	default:
 		trainSerial(entries, p, mu, f, q, pc, rowBias, colBias, biasOnly)
 	}
 

@@ -1,0 +1,219 @@
+package sgd
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the deterministic parallel trainer behind
+// Params.Deterministic: a wavefront schedule over the serial SGD
+// update sequence.
+//
+// trainSerial is a total order over (epoch, entry) update steps. The
+// step for observation (i, j) reads and writes four pieces of state:
+// the row factors and bias of i — private to whichever worker owns row
+// i — and the column factors and bias of j, shared by every row that
+// observed column j. The wavefront trainer shards the observation list
+// into contiguous row blocks, one logical worker per block, and keeps
+// the serial order's data flow intact with one dependency per entry:
+// before touching column j, a worker waits until the previous toucher
+// of j in serial order has completed its update. Because every value an
+// update reads is then exactly the value the serial sweep would have
+// produced, and the update itself is the same statement sequence as
+// trainSerial, the trained model is bit-identical to the serial one —
+// at any worker count, at any GOMAXPROCS, under any interleaving the
+// scheduler picks. Parallelism comes from pipelining: shard s runs
+// epoch t while shard s-1 has moved on to epoch t+1, so the steady
+// state keeps min(Workers, GOMAXPROCS) shards in flight on different
+// epochs of the same sweep.
+//
+// Progress is published through one atomic per-shard counter of
+// completed entries (cumulative across epochs). Waiters spin briefly,
+// then park on a condition variable; publishers only take the lock
+// when the waiter count says someone is parked, so the uncontended
+// fast path is a single atomic store per entry.
+
+// colDep is the wait obligation of one shard entry: before the entry's
+// update may touch its column, shard `shard` must have completed
+// `need` entries in epoch (t - wrap), where t is the current epoch.
+// shard < 0 means the previous toucher lives in the same shard (or the
+// column is untouched elsewhere) and program order already serializes
+// the pair.
+type colDep struct {
+	shard int32
+	need  int32
+	wrap  int32
+}
+
+// shardByRows splits entries — already sorted row-major, the order
+// reconstruct gathers them in — into at most `workers` contiguous,
+// non-empty shards aligned to row boundaries, balancing entry counts.
+// Row alignment keeps all of a row's updates (and so its private row
+// state) on a single worker.
+func shardByRows(entries []obs, workers int) [][]obs {
+	if len(entries) == 0 || workers <= 1 {
+		return [][]obs{entries}
+	}
+	bounds := []int{0}
+	for idx := 1; idx < len(entries); idx++ {
+		if entries[idx].i != entries[idx-1].i {
+			bounds = append(bounds, idx)
+		}
+	}
+	bounds = append(bounds, len(entries))
+	nGroups := len(bounds) - 1
+	if workers > nGroups {
+		workers = nGroups
+	}
+	shards := make([][]obs, 0, workers)
+	g := 0
+	for s := 0; s < workers; s++ {
+		left := workers - s
+		start := bounds[g]
+		target := (len(entries) - start + left - 1) / left
+		take := 1
+		for g+take <= nGroups-left && bounds[g+take]-start < target {
+			take++
+		}
+		shards = append(shards, entries[start:bounds[g+take]])
+		g += take
+	}
+	return shards
+}
+
+// columnDeps walks the shards in serial order and records, for each
+// entry, the previous toucher of its column. The first toucher of a
+// column in an epoch depends on the column's last toucher in the
+// previous epoch (wrap = 1); in epoch 0 that dependency is vacuous and
+// the wait target underflows to ≤ 0.
+func columnDeps(shards [][]obs, cols int) [][]colDep {
+	deps := make([][]colDep, len(shards))
+	lastShard := make([]int32, cols)
+	lastPos := make([]int32, cols)
+	for j := range lastShard {
+		lastShard[j] = -1
+	}
+	type firstRef struct{ shard, pos int32 }
+	first := make([]firstRef, cols)
+	for j := range first {
+		first[j].shard = -1
+	}
+	for s, shard := range shards {
+		deps[s] = make([]colDep, len(shard))
+		for k, e := range shard {
+			d := colDep{shard: -1}
+			if ls := lastShard[e.j]; ls >= 0 {
+				if ls != int32(s) {
+					d = colDep{shard: ls, need: lastPos[e.j] + 1}
+				}
+			} else {
+				first[e.j] = firstRef{shard: int32(s), pos: int32(k)}
+			}
+			deps[s][k] = d
+			lastShard[e.j], lastPos[e.j] = int32(s), int32(k)
+		}
+	}
+	// Close the epoch loop: each column's first toucher waits for its
+	// last toucher of the previous epoch, unless they share a shard.
+	for s, shard := range shards {
+		for k, e := range shard {
+			if f := first[e.j]; f.shard == int32(s) && f.pos == int32(k) && lastShard[e.j] != int32(s) {
+				deps[s][k] = colDep{shard: lastShard[e.j], need: lastPos[e.j] + 1, wrap: 1}
+			}
+		}
+	}
+	return deps
+}
+
+// shardProgress is one shard's completed-entry counter, padded so
+// neighbouring counters do not share a cache line.
+type shardProgress struct {
+	done atomic.Int64
+	_    [56]byte
+}
+
+func trainWavefront(entries []obs, p Params, mu float64, f int, q, pc, rowBias, colBias []float64, biasOnly []bool) {
+	workers := p.Workers
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	shards := shardByRows(entries, workers)
+	if len(shards) <= 1 {
+		// One executor degenerates to the serial sweep outright.
+		trainSerial(entries, p, mu, f, q, pc, rowBias, colBias, biasOnly)
+		return
+	}
+	deps := columnDeps(shards, len(colBias))
+	shardLen := make([]int64, len(shards))
+	for s := range shards {
+		shardLen[s] = int64(len(shards[s]))
+	}
+	progress := make([]shardProgress, len(shards))
+
+	var (
+		mtx     sync.Mutex
+		parked  sync.Cond
+		waiters atomic.Int32
+	)
+	parked.L = &mtx
+	waitFor := func(c *shardProgress, target int64) {
+		for spin := 0; spin < 128; spin++ {
+			if c.done.Load() >= target {
+				return
+			}
+			runtime.Gosched()
+		}
+		waiters.Add(1)
+		mtx.Lock()
+		for c.done.Load() < target {
+			parked.Wait()
+		}
+		mtx.Unlock()
+		waiters.Add(-1)
+	}
+
+	eta, lam := p.LearningRate, p.Reg
+	var wg sync.WaitGroup
+	for s := range shards {
+		wg.Add(1)
+		go func(s int, shard []obs, dep []colDep) {
+			defer wg.Done()
+			mine := &progress[s]
+			for iter := 0; iter < p.MaxIter; iter++ {
+				epoch := int64(iter)
+				base := epoch * shardLen[s]
+				for k, e := range shard {
+					if d := dep[k]; d.shard >= 0 {
+						target := (epoch-int64(d.wrap))*shardLen[d.shard] + int64(d.need)
+						if progress[d.shard].done.Load() < target {
+							waitFor(&progress[d.shard], target)
+						}
+					}
+					// The update is statement-for-statement trainSerial's
+					// inner loop: same expressions, same order, so every
+					// arithmetic result is bit-identical.
+					qi := q[e.i*f : (e.i+1)*f]
+					pj := pc[e.j*f : (e.j+1)*f]
+					err := e.v - (mu + rowBias[e.i] + colBias[e.j] + dotf(qi, pj))
+					rowBias[e.i] += eta * (err - lam*rowBias[e.i])
+					colBias[e.j] += eta * (err - lam*colBias[e.j])
+					if !biasOnly[e.i] {
+						for k := 0; k < f; k++ {
+							qk, pk := qi[k], pj[k]
+							qi[k] += eta * (err*pk - lam*qk)
+							pj[k] += eta * (err*qk - lam*pk)
+						}
+					}
+					mine.done.Store(base + int64(k+1))
+					if waiters.Load() != 0 {
+						mtx.Lock()
+						parked.Broadcast()
+						mtx.Unlock()
+					}
+				}
+			}
+		}(s, shards[s], deps[s])
+	}
+	wg.Wait()
+}

@@ -1,0 +1,180 @@
+package sgd
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"cuttlesys/internal/rng"
+)
+
+// wavefrontMatrix builds a mixed observation matrix shaped like the
+// runtime's: a handful of fully-characterised rows plus sparse rows
+// with a few online observations each.
+func wavefrontMatrix(seed uint64, rows, cols, dense int) *Matrix {
+	r := rng.New(seed)
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		if i < dense {
+			vals := make([]float64, cols)
+			for j := range vals {
+				vals[j] = 1 + r.Float64() + 0.1*float64(i*j%7)
+			}
+			m.ObserveRow(i, vals)
+			continue
+		}
+		n := 2 + r.Intn(4)
+		for k := 0; k < n; k++ {
+			m.Observe(i, r.Intn(cols), 1+r.Float64())
+		}
+	}
+	return m
+}
+
+func bitsEqual(a, b *Prediction) (int, int, bool) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if math.Float64bits(a.At(i, j)) != math.Float64bits(b.At(i, j)) {
+				return i, j, false
+			}
+		}
+	}
+	return 0, 0, true
+}
+
+// TestWavefrontMatchesSerial is the deterministic-parallel contract:
+// for every worker count (including one exceeding the row count) and
+// parameter shape, ReconstructParallel with Deterministic set must be
+// bit-identical to the serial Reconstruct.
+func TestWavefrontMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	variants := []struct {
+		name string
+		p    Params
+	}{
+		{"default", Params{MaxIter: 60}},
+		{"biasOnly", Params{MaxIter: 60, FactorMinObs: 200}},
+		{"logspace", Params{MaxIter: 60, LogSpace: true}},
+		{"svdinit", Params{MaxIter: 60, SVDInit: true}},
+	}
+	for _, v := range variants {
+		for _, workers := range []int{2, 3, 8, 16} {
+			for _, seed := range []uint64{1, 2, 5} {
+				m := wavefrontMatrix(seed, 14, 30, 6)
+				sp := v.p
+				sp.Seed = seed
+				serial := Reconstruct(m, sp)
+				pp := sp
+				pp.Workers = workers
+				pp.Deterministic = true
+				par := ReconstructParallel(m, pp)
+				if i, j, ok := bitsEqual(serial, par); !ok {
+					t.Fatalf("%s workers=%d seed=%d: (%d,%d) serial %v vs parallel %v",
+						v.name, workers, seed, i, j, serial.At(i, j), par.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestWavefrontGOMAXPROCSInvariance pins the property the fleet layer
+// depends on: the deterministic reconstruction does not change with the
+// processor count — one executor (which degenerates to the serial
+// sweep) and many produce the same bits.
+func TestWavefrontGOMAXPROCSInvariance(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	m := wavefrontMatrix(9, 16, 40, 5)
+	p := Params{MaxIter: 80, Workers: 8, Deterministic: true, Seed: 9}
+	var ref *Prediction
+	for _, gm := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(gm)
+		got := ReconstructParallel(m, p)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if i, j, ok := bitsEqual(ref, got); !ok {
+			t.Fatalf("GOMAXPROCS=%d: (%d,%d) %v vs %v", gm, i, j, ref.At(i, j), got.At(i, j))
+		}
+	}
+}
+
+// TestShardByRows checks the shard invariants the wavefront's
+// correctness argument rests on: shards are non-empty, contiguous,
+// cover every entry, and never split a row.
+func TestShardByRows(t *testing.T) {
+	for _, seed := range []uint64{3, 4} {
+		m := wavefrontMatrix(seed, 11, 20, 4)
+		var entries []obs
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				if m.Known(i, j) {
+					entries = append(entries, obs{i, j, m.At(i, j)})
+				}
+			}
+		}
+		for _, workers := range []int{1, 2, 3, 7, 50} {
+			shards := shardByRows(entries, workers)
+			if len(shards) > workers || len(shards) == 0 {
+				t.Fatalf("workers=%d: got %d shards", workers, len(shards))
+			}
+			total := 0
+			rowOwner := map[int]int{}
+			for s, shard := range shards {
+				if len(shard) == 0 {
+					t.Fatalf("workers=%d: shard %d empty", workers, s)
+				}
+				for _, e := range shard {
+					if own, seen := rowOwner[e.i]; seen && own != s {
+						t.Fatalf("workers=%d: row %d split across shards %d and %d", workers, e.i, own, s)
+					}
+					rowOwner[e.i] = s
+					if entries[total] != e {
+						t.Fatalf("workers=%d: shard order diverges from serial order at %d", workers, total)
+					}
+					total++
+				}
+			}
+			if total != len(entries) {
+				t.Fatalf("workers=%d: shards cover %d of %d entries", workers, total, len(entries))
+			}
+		}
+	}
+}
+
+// BenchmarkSGDDeterministicParallel compares the three trainers on a
+// fleet-shaped reconstruction (108 configuration columns). On a
+// single-processor host the deterministic legs degenerate to the serial
+// sweep — the wavefront caps its shard count at GOMAXPROCS — so the
+// interesting comparison there is that Deterministic adds no overhead;
+// the gomaxprocs8 leg exercises the pipelined schedule itself.
+func BenchmarkSGDDeterministicParallel(b *testing.B) {
+	m := wavefrontMatrix(1, 20, 108, 6)
+	base := Params{MaxIter: 250, Seed: 1, Workers: 8}
+	legs := []struct {
+		name string
+		gm   int
+		run  func(Params) *Prediction
+		det  bool
+	}{
+		{"serial", 0, func(p Params) *Prediction { return Reconstruct(m, p) }, false},
+		{"hogwild", 0, func(p Params) *Prediction { return ReconstructParallel(m, p) }, false},
+		{"deterministic", 0, func(p Params) *Prediction { return ReconstructParallel(m, p) }, true},
+		{"deterministic-gomaxprocs8", 8, func(p Params) *Prediction { return ReconstructParallel(m, p) }, true},
+	}
+	for _, leg := range legs {
+		b.Run(leg.name, func(b *testing.B) {
+			if leg.gm > 0 {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(leg.gm))
+			}
+			p := base
+			p.Deterministic = leg.det
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				leg.run(p)
+			}
+		})
+	}
+}
