@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench chaos fleet trace bench-obs bench-decide lint fmt ci
+.PHONY: build test race vet bench chaos fleet ops trace bench-obs bench-decide lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ chaos:
 # Regenerate the seeded cluster fleet report (see EXPERIMENTS.md).
 fleet:
 	$(GO) run ./cmd/fleet -seed 1 -machines 4 -slices 12 -o BENCH_fleet.json
+
+# Regenerate the seeded control-plane drill report (DESIGN.md §12,
+# EXPERIMENTS.md): failover, brownout and capacity-surge drills with
+# the full membership and transition logs.
+ops:
+	$(GO) run ./cmd/ops -seed 7 -machines 4 -slices 30 -o BENCH_ops.json
 
 # Capture the reference traced chaos run (DESIGN.md §10): trace JSONL,
 # Chrome trace_event JSON (load trace/trace.chrome.json in

@@ -1,0 +1,329 @@
+// Command ops is the control-plane drill harness: it runs a managed
+// CuttleSys fleet (internal/ctrlplane behind the facade) through three
+// operational incidents and emits the flight-recorder evidence an
+// operator would review afterwards — the membership log, every health
+// state transition, the serving floor and the load the router had to
+// shed.
+//
+// The drills:
+//
+//   - failover: one machine fail-stops most of its cores mid-run and
+//     never recovers. The health checker quarantines it within the
+//     debounce window, gives up after DrainAfter bad slices, drains and
+//     evicts it, and the replacement path admits a successor that works
+//     through probation to healthy.
+//   - brownout: the cluster budget is squeezed for the middle third of
+//     the run while one machine carries a composed fault — a standing
+//     fail-stop/fail-slow schedule layered (ComposeFaults) with a
+//     drill-scoped budget-drop incident. The machine flaps through
+//     quarantine and probation and is re-admitted once the fault
+//     window closes.
+//   - surge: offered load steps up to near saturation and back. The
+//     autoscaler grows the fleet under its power-headroom gate, then
+//     drains the extra machines once the surge passes — scale-down
+//     evictions provision no replacement.
+//
+// Every run is deterministic: control decisions run serially between
+// slices from last-slice telemetry, machine stepping merges in index
+// order, and SGD runs the deterministic wavefront trainer, so a fixed
+// -seed produces a byte-identical report at any GOMAXPROCS.
+//
+// Usage:
+//
+//	ops [-service xapian] [-machines 4] [-slices 30] [-load 0.4]
+//	    [-cap 0.8] [-seed 7] [-o report.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"cuttlesys"
+)
+
+// machineFault assigns an injector factory to one machine of the
+// initial fleet; the target index wraps modulo the fleet size, so the
+// drills stay meaningful for small -machines smoke runs.
+type machineFault struct {
+	machine int
+	mk      func(seed uint64) (cuttlesys.FaultInjector, error)
+}
+
+// drill is one operational incident: load and budget patterns, the
+// fault injectors riding on specific machines, and the health/scale
+// policies the control plane runs under.
+type drill struct {
+	name   string
+	load   func(span float64) cuttlesys.LoadPattern
+	budget func(span float64) cuttlesys.BudgetPattern
+	faults []machineFault
+	health cuttlesys.HealthConfig
+	// scale configures the autoscaler; the Provision factory is filled
+	// in by runDrill.
+	scale          cuttlesys.ScaleConfig
+	replaceEvicted bool
+}
+
+func drills(machines int) []drill {
+	return []drill{
+		{
+			name:   "failover",
+			load:   func(float64) cuttlesys.LoadPattern { return cuttlesys.ConstantLoad(0.4) },
+			budget: func(float64) cuttlesys.BudgetPattern { return cuttlesys.ConstantBudget(0.8) },
+			faults: []machineFault{
+				{machine: 1, mk: func(seed uint64) (cuttlesys.FaultInjector, error) {
+					// Fail-stop most of the LC pool at t=0.5, forever: the
+					// machine cannot recover, so quarantine must escalate to
+					// drain, eviction and replacement.
+					return cuttlesys.NewFaultSchedule(seed, cuttlesys.FaultEvent{
+						Kind: cuttlesys.CoreFailStop, Start: 0.5, End: math.Inf(1), Cores: 6, BatchCores: 2,
+					})
+				}},
+			},
+			replaceEvicted: true,
+		},
+		{
+			name: "brownout",
+			load: func(float64) cuttlesys.LoadPattern { return cuttlesys.ConstantLoad(0.4) },
+			budget: func(span float64) cuttlesys.BudgetPattern {
+				return cuttlesys.StepBudget(0.8, 0.55, span/3, 2*span/3)
+			},
+			faults: []machineFault{
+				{machine: 2, mk: func(seed uint64) (cuttlesys.FaultInjector, error) {
+					// A standing fault schedule — a bounded fail-stop window
+					// with a fail-slow tail — composed with a drill-scoped
+					// budget-drop incident: disruptions layer through
+					// ComposeFaults exactly as a machine's chaos schedule
+					// would compose with an operator's drill. The fault
+					// window clears mid-run, so the machine must flap through
+					// quarantine, be released on probation and prove itself
+					// back to healthy.
+					standing, err := cuttlesys.NewFaultSchedule(seed,
+						cuttlesys.FaultEvent{
+							Kind: cuttlesys.CoreFailStop, Start: 0.4, End: 1.3, Cores: 5,
+						},
+						cuttlesys.FaultEvent{
+							Kind: cuttlesys.CoreFailSlow, Start: 0.4, End: 1.3, Cores: 4, Factor: 0.6,
+						})
+					if err != nil {
+						return nil, err
+					}
+					incident, err := cuttlesys.NewFaultSchedule(seed^0x5eed, cuttlesys.FaultEvent{
+						Kind: cuttlesys.BudgetDrop, Start: 1.1, End: 1.7, Factor: 0.7,
+					})
+					if err != nil {
+						return nil, err
+					}
+					return cuttlesys.ComposeFaults(standing, incident), nil
+				}},
+			},
+		},
+		{
+			name: "surge",
+			load: func(span float64) cuttlesys.LoadPattern {
+				return cuttlesys.StepLoad(0.2, 0.95, span/4, 3*span/4)
+			},
+			budget: func(float64) cuttlesys.BudgetPattern { return cuttlesys.ConstantBudget(0.8) },
+			scale: cuttlesys.ScaleConfig{
+				UpAfter: 2, DownAfter: 3, Cooldown: 4,
+				MinMachines: machines, MaxMachines: machines + 2,
+			},
+		},
+	}
+}
+
+// MembershipEntry is one membership-log record (join or evict).
+type MembershipEntry struct {
+	Slice   int     `json:"slice"`
+	T       float64 `json:"t"`
+	Machine int     `json:"machine"`
+	Event   string  `json:"event"`
+	Reason  string  `json:"reason"`
+}
+
+// TransitionEntry is one health state machine edge.
+type TransitionEntry struct {
+	Slice   int     `json:"slice"`
+	T       float64 `json:"t"`
+	Machine int     `json:"machine"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Reason  string  `json:"reason"`
+}
+
+// DrillReport is one drill's outcome: fleet-level quality numbers plus
+// the control plane's flight recorder.
+type DrillReport struct {
+	Drill         string  `json:"drill"`
+	QoSMetFrac    float64 `json:"qosMetFrac"`
+	QoSViolations int     `json:"qosViolations"`
+	TotalInstrB   float64 `json:"totalInstrB"`
+	MeanPowerW    float64 `json:"meanPowerW"`
+	// ShedQPS is offered load the mask could not place on any serving
+	// machine, summed over the run.
+	ShedQPS float64 `json:"shedQPS"`
+	// MinServing / PeakMachines bound the serving set over the run.
+	MinServing   int               `json:"minServing"`
+	PeakMachines int               `json:"peakMachines"`
+	Joins        int               `json:"joins"`
+	Evictions    int               `json:"evictions"`
+	Membership   []MembershipEntry `json:"membership"`
+	Transitions  []TransitionEntry `json:"transitions"`
+	// Final is each machine slot's state at the end of the run, by id.
+	Final []string `json:"final"`
+}
+
+// Report is the full drill suite.
+type Report struct {
+	Service  string        `json:"service"`
+	Machines int           `json:"machines"`
+	Slices   int           `json:"slices"`
+	Load     float64       `json:"load"`
+	Cap      float64       `json:"cap"`
+	Seed     uint64        `json:"seed"`
+	Drills   []DrillReport `json:"drills"`
+}
+
+func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }
+
+func main() {
+	service := flag.String("service", "xapian", "latency-critical service (TailBench name)")
+	machines := flag.Int("machines", 4, "initial machines in the fleet")
+	slices := flag.Int("slices", 30, "timeslices per drill")
+	load := flag.Float64("load", 0.4, "baseline offered load fraction of aggregate capacity")
+	capFrac := flag.Float64("cap", 0.8, "cluster power cap fraction of aggregate reference power")
+	seed := flag.Uint64("seed", 7, "fleet seed (machine and provisioning seeds are derived)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := suite(*service, *machines, *slices, *load, *capFrac, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ops: %v\n", err)
+		os.Exit(1)
+	}
+	if err := cuttlesys.WriteReport(*out, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "ops: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func suite(service string, machines, slices int, load, capFrac float64, seed uint64) (*Report, error) {
+	if machines < 2 {
+		return nil, fmt.Errorf("drills need at least two machines, got %d", machines)
+	}
+	rep := &Report{
+		Service: service, Machines: machines, Slices: slices,
+		Load: load, Cap: capFrac, Seed: seed,
+	}
+	for _, d := range drills(machines) {
+		dr, err := runDrill(service, machines, slices, load, capFrac, seed, d)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.name, err)
+		}
+		rep.Drills = append(rep.Drills, dr)
+	}
+	return rep, nil
+}
+
+// runDrill assembles a managed fleet for one drill and runs it. Every
+// machine — initial or provisioned later — runs the full CuttleSys
+// runtime with deterministic-parallel SGD.
+func runDrill(service string, machines, slices int, load, capFrac float64, seed uint64, d drill) (DrillReport, error) {
+	lc, err := cuttlesys.AppByName(service)
+	if err != nil {
+		return DrillReport{}, err
+	}
+	_, pool := cuttlesys.SplitTrainTest(1, 16)
+	node := func(seed uint64) cuttlesys.FleetNode {
+		m := cuttlesys.NewMachine(cuttlesys.MachineSpec{
+			Seed: seed, LC: lc,
+			Batch:          cuttlesys.Mix(seed, pool, 8),
+			Reconfigurable: true,
+		})
+		rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{
+			Seed: seed,
+			SGD:  cuttlesys.SGDParams{Deterministic: true},
+		})
+		return cuttlesys.FleetNode{Machine: m, Scheduler: rt}
+	}
+
+	seeds := cuttlesys.FleetSeeds(seed, machines)
+	nodes := make([]cuttlesys.FleetNode, machines)
+	for i := 0; i < machines; i++ {
+		nodes[i] = node(seeds[i])
+	}
+	for _, mf := range d.faults {
+		i := mf.machine % machines
+		inj, err := mf.mk(seeds[i])
+		if err != nil {
+			return DrillReport{}, err
+		}
+		nodes[i].Injector = inj
+	}
+
+	scale := d.scale
+	scale.Seed = seed ^ 0x0b5e55ed
+	scale.ReplaceEvicted = d.replaceEvicted
+	scale.Provision = func(id int, seed uint64) (cuttlesys.FleetNode, error) {
+		return node(seed), nil
+	}
+	cp, err := cuttlesys.NewControlPlane(cuttlesys.ControlPlaneConfig{
+		Fleet:  cuttlesys.FleetConfig{Router: cuttlesys.UniformRouter{}, Arbiter: cuttlesys.ProportionalArbiter{}},
+		Health: d.health,
+		Scale:  scale,
+	}, nodes...)
+	if err != nil {
+		return DrillReport{}, err
+	}
+	defer cp.Close()
+
+	span := float64(slices) * cuttlesys.SliceDur
+	res, err := cp.Run(slices, d.load(span), d.budget(span))
+	if err != nil {
+		return DrillReport{}, err
+	}
+	return summarize(d.name, res), nil
+}
+
+func summarize(name string, res *cuttlesys.ControlPlaneResult) DrillReport {
+	dr := DrillReport{
+		Drill:         name,
+		QoSMetFrac:    round4(res.Fleet.QoSMetFraction()),
+		QoSViolations: res.Fleet.QoSViolations(),
+		TotalInstrB:   round4(res.Fleet.TotalInstrB()),
+		MeanPowerW:    round4(res.Fleet.MeanPowerW()),
+		MinServing:    -1,
+		Final:         res.Final,
+	}
+	shed := 0.0
+	for _, rec := range res.Slices {
+		shed += rec.UnroutedQPS
+		if dr.MinServing < 0 || rec.Serving < dr.MinServing {
+			dr.MinServing = rec.Serving
+		}
+		if len(rec.Members) > dr.PeakMachines {
+			dr.PeakMachines = len(rec.Members)
+		}
+	}
+	dr.ShedQPS = round4(shed)
+	for _, ev := range res.Membership {
+		if ev.Event == "join" {
+			dr.Joins++
+		} else {
+			dr.Evictions++
+		}
+		dr.Membership = append(dr.Membership, MembershipEntry{
+			Slice: ev.Slice, T: round4(ev.T), Machine: ev.Machine,
+			Event: ev.Event, Reason: ev.Reason,
+		})
+	}
+	for _, tr := range res.Transitions {
+		dr.Transitions = append(dr.Transitions, TransitionEntry{
+			Slice: tr.Slice, T: round4(tr.T), Machine: tr.Machine,
+			From: tr.From, To: tr.To, Reason: tr.Reason,
+		})
+	}
+	return dr
+}

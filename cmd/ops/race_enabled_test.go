@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that this binary was built with -race: the full
+// drill suite is ~15x slower under the detector and exceeds the test
+// timeout, and the parallelism it exercises (fleet machine stepping)
+// is race-tested cheaply in internal/fleet and internal/ctrlplane.
+const raceEnabled = true

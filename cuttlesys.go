@@ -35,6 +35,7 @@ import (
 	"cuttlesys/internal/baseline"
 	"cuttlesys/internal/config"
 	"cuttlesys/internal/core"
+	"cuttlesys/internal/ctrlplane"
 	"cuttlesys/internal/fault"
 	"cuttlesys/internal/fleet"
 	"cuttlesys/internal/harness"
@@ -178,6 +179,21 @@ const (
 	BudgetDrop       = fault.BudgetDrop
 )
 
+// ComposeFaults layers several fault injectors into one — a machine's
+// standing chaos schedule plus a drill's incident. Disruptions add,
+// load/budget factors multiply, telemetry corruption chains in
+// argument order; nil members are skipped and a single live member is
+// returned unchanged. See fault.Compose.
+func ComposeFaults(parts ...FaultInjector) FaultInjector {
+	ps := make([]fault.Injector, len(parts))
+	for i, p := range parts {
+		if p != nil {
+			ps[i] = p
+		}
+	}
+	return fault.Compose(ps...)
+}
+
 // NewFaultSchedule builds a deterministic fault schedule; the same
 // seed and events always reproduce the same perturbations.
 func NewFaultSchedule(seed uint64, events ...FaultEvent) (*fault.Schedule, error) {
@@ -305,6 +321,54 @@ func NewFleet(cfg FleetConfig, nodes ...FleetNode) (*Fleet, error) {
 
 // FleetSeeds derives n machine seeds from one fleet seed.
 func FleetSeeds(seed uint64, n int) []uint64 { return fleet.Seeds(seed, n) }
+
+// ControlPlane wraps a Fleet with dynamic membership, a debounced
+// health state machine (quarantine, drain, probation) and a closed-loop
+// autoscaler (DESIGN.md §12).
+type ControlPlane = ctrlplane.Manager
+
+// ControlPlaneConfig tunes a ControlPlane: the embedded fleet config
+// plus health-check debounce and autoscaler policy.
+type ControlPlaneConfig = ctrlplane.Config
+
+// HealthConfig tunes the per-machine health state machine.
+type HealthConfig = ctrlplane.HealthConfig
+
+// ScaleConfig tunes the autoscaler (utilisation bands, hysteresis,
+// cooldown, power headroom gate and the machine provisioner).
+type ScaleConfig = ctrlplane.ScaleConfig
+
+// MachineState is a machine's position in the health state machine.
+type MachineState = ctrlplane.State
+
+// Health state machine states.
+const (
+	MachineHealthy     = ctrlplane.Healthy
+	MachineSuspect     = ctrlplane.Suspect
+	MachineQuarantined = ctrlplane.Quarantined
+	MachineDraining    = ctrlplane.Draining
+	MachineProbation   = ctrlplane.Probation
+	MachineEvicted     = ctrlplane.Evicted
+)
+
+// MembershipEvent is one entry in the control plane's membership log.
+type MembershipEvent = ctrlplane.MembershipEvent
+
+// HealthTransition is one health state machine edge taken by a machine.
+type HealthTransition = ctrlplane.Transition
+
+// ControlPlaneResult aggregates a managed run: the inner fleet result
+// plus per-slice states, the membership log and every transition.
+type ControlPlaneResult = ctrlplane.Result
+
+// ControlPlaneSliceRecord is a fleet slice record annotated with the
+// per-member health states and the shed (unrouted) load.
+type ControlPlaneSliceRecord = ctrlplane.SliceRecord
+
+// NewControlPlane assembles a managed fleet; see ctrlplane.New.
+func NewControlPlane(cfg ControlPlaneConfig, nodes ...FleetNode) (*ControlPlane, error) {
+	return ctrlplane.New(cfg, nodes...)
+}
 
 // Collector receives trace events, metric updates and profiling
 // samples from an instrumented run (DESIGN.md §10). Attach one via

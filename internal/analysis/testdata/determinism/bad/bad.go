@@ -96,3 +96,40 @@ func Fill(xs []float64) []float64 {
 	}
 	return out
 }
+
+// Reconcile fans per-machine health checks out to goroutines and
+// appends transitions as they land: the log order is the scheduler's
+// interleaving, not a function of the telemetry.
+func Reconcile(bad []bool) []string {
+	var log []string
+	done := make(chan struct{})
+	for i, b := range bad {
+		go func() {
+			if b {
+				log = append(log, fmt.Sprint("suspect ", i))
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range bad {
+		<-done
+	}
+	return log
+}
+
+// Promote advances a shared membership cursor from goroutines, so the
+// per-machine state cells race on it.
+func Promote(states []int) {
+	next := 0
+	done := make(chan struct{})
+	for range states {
+		go func() {
+			states[next]++
+			next++
+			done <- struct{}{}
+		}()
+	}
+	for range states {
+		<-done
+	}
+}

@@ -104,3 +104,42 @@ func Guarded(xs []float64) []float64 {
 	sort.Float64s(out)
 	return out
 }
+
+// ReconcileSerial advances every machine's health state in id order
+// between slices — the control plane's reconcile-loop pattern: all
+// state transitions and log appends happen on one goroutine.
+func ReconcileSerial(bad []bool, states []int) []string {
+	var log []string
+	for id := range states {
+		if bad[id] {
+			states[id]++
+			log = append(log, "suspect")
+		}
+	}
+	return log
+}
+
+// ProbeThenMerge is the legal parallel shape for a reconcile loop:
+// goroutines probe into their own pre-sized cells through a parameter
+// index, and the single caller goroutine folds the cells into the log
+// in id order afterwards.
+func ProbeThenMerge(states []int) []string {
+	verdicts := make([]bool, len(states))
+	var wg sync.WaitGroup
+	for i := range states {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			verdicts[i] = states[i] > 0
+		}(i)
+	}
+	wg.Wait()
+	var log []string
+	for id, v := range verdicts {
+		if v {
+			states[id]++
+			log = append(log, "suspect")
+		}
+	}
+	return log
+}

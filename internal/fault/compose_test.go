@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"cuttlesys/internal/obs"
+	"cuttlesys/internal/sim"
+)
+
+// Schedule must satisfy the composable fault surface.
+var _ Injector = (*Schedule)(nil)
+
+// stubInjector is a fully scripted injector: every hook returns a
+// fixed value, so composition semantics are exactly checkable.
+type stubInjector struct {
+	d      sim.Disruption
+	load   float64
+	budget float64
+	kinds  []string
+	mutate func(sim.PhaseResult) sim.PhaseResult
+	col    obs.Collector
+}
+
+func (s *stubInjector) Disrupt(float64) sim.Disruption { return s.d }
+func (s *stubInjector) LoadFactor(float64) float64     { return s.load }
+func (s *stubInjector) BudgetFactor(float64) float64   { return s.budget }
+func (s *stubInjector) ObservePhase(_ float64, r sim.PhaseResult, _ bool) sim.PhaseResult {
+	if s.mutate != nil {
+		return s.mutate(r)
+	}
+	return r
+}
+func (s *stubInjector) ActiveKinds(float64) []string { return s.kinds }
+func (s *stubInjector) SetCollector(c obs.Collector) { s.col = c }
+
+// plainInjector has no SetCollector — composition must tolerate parts
+// without the observability extension.
+type plainInjector struct{}
+
+func (plainInjector) Disrupt(float64) sim.Disruption { return sim.Disruption{} }
+func (plainInjector) LoadFactor(float64) float64     { return 1 }
+func (plainInjector) BudgetFactor(float64) float64   { return 1 }
+func (plainInjector) ObservePhase(_ float64, r sim.PhaseResult, _ bool) sim.PhaseResult {
+	return r
+}
+func (plainInjector) ActiveKinds(float64) []string { return nil }
+
+func TestComposeDegenerate(t *testing.T) {
+	if Compose() != nil {
+		t.Error("empty composition not nil")
+	}
+	if Compose(nil, nil) != nil {
+		t.Error("all-nil composition not nil")
+	}
+	s := MustSchedule(1, Event{Kind: FlashCrowd, Start: 0, End: 1})
+	if got := Compose(s); got != Injector(s) {
+		t.Error("single-part composition wrapped the part")
+	}
+	if got := Compose(nil, s, nil); got != Injector(s) {
+		t.Error("nil padding changed a single-part composition")
+	}
+}
+
+func TestComposeCombinesEffects(t *testing.T) {
+	a := &stubInjector{
+		d:      sim.Disruption{FailedLC: 2, FailedBatch: 1, SlowLC: 0.5},
+		load:   1.5,
+		budget: 0.8,
+		kinds:  []string{"core-failstop", "flash-crowd"},
+	}
+	b := &stubInjector{
+		d:      sim.Disruption{FailedLC: 3, SlowLC: 0.5, SlowBatch: 0.8},
+		load:   2,
+		budget: 0.5,
+		kinds:  []string{"flash-crowd", "budget-drop"},
+	}
+	c := Compose(a, b)
+
+	d := c.Disrupt(0)
+	if d.FailedLC != 5 || d.FailedBatch != 1 {
+		t.Fatalf("fail-stops did not sum: %+v", d)
+	}
+	if math.Abs(d.SlowLC-0.25) > 1e-12 || math.Abs(d.SlowBatch-0.8) > 1e-12 {
+		t.Fatalf("slow factors did not multiply: %+v", d)
+	}
+	if f := c.LoadFactor(0); f != 3 {
+		t.Fatalf("load factor %v, want 3", f)
+	}
+	if f := c.BudgetFactor(0); f != 0.4 {
+		t.Fatalf("budget factor %v, want 0.4", f)
+	}
+	want := []string{"core-failstop", "flash-crowd", "budget-drop"}
+	if got := c.ActiveKinds(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("active kinds %v, want %v", got, want)
+	}
+}
+
+// TestComposeObserveChainOrder pins the corruption chain: part i+1
+// observes part i's (already corrupted) view, in argument order.
+func TestComposeObserveChainOrder(t *testing.T) {
+	double := &stubInjector{load: 1, budget: 1,
+		mutate: func(r sim.PhaseResult) sim.PhaseResult { r.PowerW *= 2; return r }}
+	inc := &stubInjector{load: 1, budget: 1,
+		mutate: func(r sim.PhaseResult) sim.PhaseResult { r.PowerW++; return r }}
+	truth := sim.PhaseResult{PowerW: 10}
+	if got := Compose(double, inc).ObservePhase(0, truth, false).PowerW; got != 21 {
+		t.Fatalf("chained view PowerW %v, want 21 (double then inc)", got)
+	}
+	if got := Compose(inc, double).ObservePhase(0, truth, false).PowerW; got != 22 {
+		t.Fatalf("chained view PowerW %v, want 22 (inc then double)", got)
+	}
+	if truth.PowerW != 10 {
+		t.Fatal("composition mutated the physical truth")
+	}
+}
+
+func TestComposeForwardsCollector(t *testing.T) {
+	a := &stubInjector{load: 1, budget: 1}
+	c := Compose(a, plainInjector{}, MustSchedule(2, Event{Kind: FlashCrowd, Start: 0, End: 1}))
+	o, ok := c.(interface{ SetCollector(obs.Collector) })
+	if !ok {
+		t.Fatal("composite does not accept a collector")
+	}
+	o.SetCollector(obs.OrNop(nil))
+	if a.col == nil {
+		t.Fatal("collector not forwarded to observable part")
+	}
+}
+
+// TestComposeMatchesMergedSchedule: for the RNG-free hooks, composing
+// two schedules is exactly equivalent to one schedule holding both
+// event lists — the same algebra governs overlap within and across
+// schedules.
+func TestComposeMatchesMergedSchedule(t *testing.T) {
+	evsA := []Event{
+		{Kind: CoreFailStop, Start: 1, End: 3, Cores: 2, BatchCores: 1},
+		{Kind: FlashCrowd, Start: 2, End: 4, Factor: 1.5},
+	}
+	evsB := []Event{
+		{Kind: CoreFailStop, Start: 2, End: 5, Cores: 3},
+		{Kind: CoreFailSlow, Start: 1.5, End: 3.5, Factor: 0.5},
+		{Kind: BudgetDrop, Start: 0, End: 6, Factor: 0.7},
+	}
+	comp := Compose(MustSchedule(1, evsA...), MustSchedule(2, evsB...))
+	merged := MustSchedule(3, append(append([]Event{}, evsA...), evsB...)...)
+	for _, tm := range []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5, 5.5, 6} {
+		if got, want := comp.Disrupt(tm), merged.Disrupt(tm); got != want {
+			t.Fatalf("t=%v: composed disruption %+v, merged %+v", tm, got, want)
+		}
+		if got, want := comp.LoadFactor(tm), merged.LoadFactor(tm); got != want {
+			t.Fatalf("t=%v: composed load %v, merged %v", tm, got, want)
+		}
+		if got, want := comp.BudgetFactor(tm), merged.BudgetFactor(tm); got != want {
+			t.Fatalf("t=%v: composed budget %v, merged %v", tm, got, want)
+		}
+	}
+}
+
+// TestOverlappingWindowsSameTarget pins the same-target overlap
+// algebra inside one schedule: fail-stops on the same pool sum,
+// environmental factors stack multiplicatively.
+func TestOverlappingWindowsSameTarget(t *testing.T) {
+	s := MustSchedule(9,
+		Event{Kind: CoreFailStop, Start: 0, End: 2, Cores: 2},
+		Event{Kind: CoreFailStop, Start: 1, End: 3, Cores: 3},
+		Event{Kind: FlashCrowd, Start: 0, End: 3, Factor: 2},
+		Event{Kind: FlashCrowd, Start: 1, End: 2, Factor: 1.5},
+		Event{Kind: BudgetDrop, Start: 0, End: 3, Factor: 0.5},
+		Event{Kind: BudgetDrop, Start: 1, End: 2, Factor: 0.5},
+	)
+	if d := s.Disrupt(1.5); d.FailedLC != 5 {
+		t.Fatalf("overlapping fail-stops on one pool: %+v, want 5 failed LC cores", d)
+	}
+	if d := s.Disrupt(2.5); d.FailedLC != 3 {
+		t.Fatalf("after first window closes: %+v, want 3 failed LC cores", d)
+	}
+	if f := s.LoadFactor(1.5); f != 3 {
+		t.Fatalf("overlapping flash crowds: load factor %v, want 3", f)
+	}
+	if f := s.BudgetFactor(1.5); f != 0.25 {
+		t.Fatalf("overlapping budget drops: factor %v, want 0.25", f)
+	}
+	if got := s.ActiveKinds(1.5); !reflect.DeepEqual(got,
+		[]string{"core-failstop", "flash-crowd", "budget-drop"}) {
+		t.Fatalf("overlapping same-kind events double-reported: %v", got)
+	}
+}

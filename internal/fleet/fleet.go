@@ -100,7 +100,10 @@ type Config struct {
 	Collector obs.Collector
 }
 
-// node is one machine's private state.
+// node is one machine's private state. Its index in Fleet.nodes is the
+// machine's stable identity for the fleet's whole life: a machine that
+// leaves keeps its slot (and its accumulated slice records), so ids in
+// telemetry, traces and membership logs never shift under churn.
 type node struct {
 	d         *harness.Driver
 	inj       harness.FaultInjector
@@ -108,9 +111,16 @@ type node struct {
 	maxPowerW float64
 	qosMs     float64
 	recs      []harness.SliceRecord
+	// left marks an evicted machine: it no longer receives traffic,
+	// budget or stepping, but its history stays addressable by id.
+	left bool
 }
 
 // Fleet is a cluster of CuttleSys machines stepped in lockstep.
+// Membership is dynamic: machines join via Attach and leave via Evict
+// between slices, and each slice routes, arbitrates and steps only the
+// active set. All membership operations are serial (never inside the
+// parallel stepping section), so runs remain byte-deterministic.
 type Fleet struct {
 	nodes   []*node
 	router  Router
@@ -141,42 +151,89 @@ func New(cfg Config, specs ...NodeSpec) (*Fleet, error) {
 	if f.arbiter == nil {
 		f.arbiter = Proportional{}
 	}
-	seen := make(map[*sim.Machine]int, len(specs))
-	for i, spec := range specs {
-		if spec.Machine == nil {
-			return nil, fmt.Errorf("fleet: machine %d is nil", i)
-		}
-		if prev, dup := seen[spec.Machine]; dup {
-			return nil, fmt.Errorf("fleet: machine %d reuses machine %d's simulator", i, prev)
-		}
-		seen[spec.Machine] = i
-		if spec.Machine.LC() == nil {
-			return nil, fmt.Errorf("fleet: machine %d hosts no latency-critical service", i)
-		}
-		if extra := len(spec.Machine.ExtraLCs()); extra > 0 {
-			return nil, fmt.Errorf("fleet: machine %d hosts %d extra services; the router shards a single service", i, extra)
-		}
-		d, err := harness.NewDriver(spec.Machine, spec.Scheduler, spec.Injector)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: machine %d: %w", i, err)
-		}
-		d.SetCollector(obs.ForMachine(f.obs, i))
-		lc := spec.Machine.LC()
-		f.nodes = append(f.nodes, &node{
-			d:         d,
-			inj:       spec.Injector,
-			maxQPS:    lc.MaxQPS,
-			maxPowerW: spec.Machine.MaxPowerW(),
-			qosMs:     lc.QoSTargetMs,
-		})
-	}
-	f.tele = make([]Telemetry, len(f.nodes))
-	for i, nd := range f.nodes {
-		f.tele[i] = Telemetry{
-			Machine: i, MaxQPS: nd.maxQPS, RefMaxPowerW: nd.maxPowerW,
+	for _, spec := range specs {
+		if _, err := f.Attach(spec); err != nil {
+			return nil, err
 		}
 	}
 	return f, nil
+}
+
+// Attach admits a machine to the fleet and returns its stable id. On a
+// running fleet the new machine is fast-forwarded to the fleet clock
+// (it executes nothing for the skipped time) and first appears in the
+// next slice's routing and arbitration; its telemetry stays invalid
+// until it completes that slice. Validation matches New: one
+// latency-critical service, a private simulator instance.
+func (f *Fleet) Attach(spec NodeSpec) (int, error) {
+	id := len(f.nodes)
+	if spec.Machine == nil {
+		return 0, fmt.Errorf("fleet: machine %d is nil", id)
+	}
+	for prev, nd := range f.nodes {
+		if nd.d.Machine() == spec.Machine {
+			return 0, fmt.Errorf("fleet: machine %d reuses machine %d's simulator", id, prev)
+		}
+	}
+	if spec.Machine.LC() == nil {
+		return 0, fmt.Errorf("fleet: machine %d hosts no latency-critical service", id)
+	}
+	if extra := len(spec.Machine.ExtraLCs()); extra > 0 {
+		return 0, fmt.Errorf("fleet: machine %d hosts %d extra services; the router shards a single service", id, extra)
+	}
+	d, err := harness.NewDriver(spec.Machine, spec.Scheduler, spec.Injector)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: machine %d: %w", id, err)
+	}
+	d.SetCollector(obs.ForMachine(f.obs, id))
+	spec.Machine.FastForward(f.now)
+	lc := spec.Machine.LC()
+	f.nodes = append(f.nodes, &node{
+		d:         d,
+		inj:       spec.Injector,
+		maxQPS:    lc.MaxQPS,
+		maxPowerW: spec.Machine.MaxPowerW(),
+		qosMs:     lc.QoSTargetMs,
+	})
+	f.tele = append(f.tele, Telemetry{
+		Machine: id, MaxQPS: lc.MaxQPS, RefMaxPowerW: spec.Machine.MaxPowerW(),
+	})
+	return id, nil
+}
+
+// Evict removes machine id from the stepping set: it receives no
+// further traffic or budget and its fault injector is detached. The
+// slot, its telemetry snapshot and its slice history remain
+// addressable by id; the simulator is not reusable in this fleet.
+func (f *Fleet) Evict(id int) error {
+	if id < 0 || id >= len(f.nodes) {
+		return fmt.Errorf("fleet: evict of unknown machine %d", id)
+	}
+	nd := f.nodes[id]
+	if nd.left {
+		return fmt.Errorf("fleet: machine %d already evicted", id)
+	}
+	nd.d.Detach()
+	nd.left = true
+	return nil
+}
+
+// Active returns the ids of machines currently in the stepping set, in
+// ascending id order — the order routing, arbitration and per-slice
+// record arrays follow.
+func (f *Fleet) Active() []int {
+	ids := make([]int, 0, len(f.nodes))
+	for i, nd := range f.nodes {
+		if !nd.left {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// IsActive reports whether machine id is in the stepping set.
+func (f *Fleet) IsActive(id int) bool {
+	return id >= 0 && id < len(f.nodes) && !f.nodes[id].left
 }
 
 // Seeds derives n machine seeds from one fleet seed so sibling
@@ -191,25 +248,34 @@ func Seeds(seed uint64, n int) []uint64 {
 	return out
 }
 
-// Size returns the number of machines.
-func (f *Fleet) Size() int { return len(f.nodes) }
+// Size returns the number of active machines. Slots reports the total
+// slot count including evicted machines.
+func (f *Fleet) Size() int { return len(f.Active()) }
+
+// Slots returns the number of machine slots ever admitted, including
+// evicted ones — the exclusive upper bound on machine ids.
+func (f *Fleet) Slots() int { return len(f.nodes) }
 
 // CapacityQPS is the fleet's aggregate service capacity — the sum of
-// every machine's max QPS, the reference for load fractions.
+// every active machine's max QPS, the reference for load fractions.
 func (f *Fleet) CapacityQPS() float64 {
 	sum := 0.0
 	for _, nd := range f.nodes {
-		sum += nd.maxQPS
+		if !nd.left {
+			sum += nd.maxQPS
+		}
 	}
 	return sum
 }
 
-// RefPowerW is the fleet's aggregate reference maximum power — the
-// reference for cluster budget fractions.
+// RefPowerW is the fleet's aggregate reference maximum power over
+// active machines — the reference for cluster budget fractions.
 func (f *Fleet) RefPowerW() float64 {
 	sum := 0.0
 	for _, nd := range f.nodes {
-		sum += nd.maxPowerW
+		if !nd.left {
+			sum += nd.maxPowerW
+		}
 	}
 	return sum
 }
@@ -217,7 +283,9 @@ func (f *Fleet) RefPowerW() float64 {
 // Now returns the fleet clock in seconds.
 func (f *Fleet) Now() float64 { return f.now }
 
-// Telemetry returns the latest per-machine telemetry (read-only).
+// Telemetry returns the latest per-slot telemetry (read-only), indexed
+// by stable machine id. Evicted machines keep their last snapshot;
+// routers and arbiters only ever see the active subset.
 func (f *Fleet) Telemetry() []Telemetry { return f.tele }
 
 // Close detaches every machine's fault injector. The fleet remains
@@ -236,6 +304,10 @@ type SliceRecord struct {
 	// per-machine fault perturbation.
 	OfferedQPS float64
 	BudgetW    float64
+	// Members are the stable ids of the machines stepped this slice, in
+	// ascending order; every per-machine array below is index-aligned
+	// with it.
+	Members []int
 	// NodeQPS and NodeBudgetW are the per-machine splits actually
 	// applied (after per-machine fault factors).
 	NodeQPS     []float64
@@ -269,17 +341,28 @@ func (f *Fleet) Step(offered, budgetW float64) (SliceRecord, error) {
 	if budgetW <= 0 || math.IsNaN(budgetW) {
 		return SliceRecord{}, fmt.Errorf("fleet: non-positive budget %v W", budgetW)
 	}
-	n := len(f.nodes)
+	act := f.Active()
+	n := len(act)
+	if n == 0 {
+		return SliceRecord{}, fmt.Errorf("fleet: no active machines")
+	}
 	t := f.now
 	traced := f.obs.Enabled()
 	sliceWall := obs.BeginWall(f.obs)
 
-	qpsShares := f.router.Route(offered, f.tele)
+	// Routing and arbitration see only the active machines, in id
+	// order; Telemetry.Machine carries the stable id so stateful
+	// policies survive membership churn.
+	actTele := make([]Telemetry, n)
+	for k, id := range act {
+		actTele[k] = f.tele[id]
+	}
+	qpsShares := f.router.Route(offered, actTele)
 	if len(qpsShares) != n {
 		return SliceRecord{}, fmt.Errorf("fleet: router %s returned %d shares for %d machines",
 			f.router.Name(), len(qpsShares), n)
 	}
-	budgets := f.arbiter.Split(budgetW, f.tele)
+	budgets := f.arbiter.Split(budgetW, actTele)
 	if len(budgets) != n {
 		return SliceRecord{}, fmt.Errorf("fleet: arbiter %s returned %d shares for %d machines",
 			f.arbiter.Name(), len(budgets), n)
@@ -297,27 +380,28 @@ func (f *Fleet) Step(offered, budgetW float64) (SliceRecord, error) {
 	// drops scale the allotment).
 	qps := make([]float64, n)
 	loadFrac := make([]float64, n)
-	for i, nd := range f.nodes {
-		if qpsShares[i] < 0 || math.IsNaN(qpsShares[i]) {
+	for k, id := range act {
+		nd := f.nodes[id]
+		if qpsShares[k] < 0 || math.IsNaN(qpsShares[k]) {
 			return SliceRecord{}, fmt.Errorf("fleet: router %s: invalid share %v for machine %d",
-				f.router.Name(), qpsShares[i], i)
+				f.router.Name(), qpsShares[k], id)
 		}
-		if budgets[i] <= 0 || math.IsNaN(budgets[i]) {
+		if budgets[k] <= 0 || math.IsNaN(budgets[k]) {
 			return SliceRecord{}, fmt.Errorf("fleet: arbiter %s: invalid share %v W for machine %d",
-				f.arbiter.Name(), budgets[i], i)
+				f.arbiter.Name(), budgets[k], id)
 		}
-		qps[i] = qpsShares[i]
+		qps[k] = qpsShares[k]
 		if nd.inj != nil {
-			qps[i] *= nd.inj.LoadFactor(t)
-			budgets[i] *= nd.inj.BudgetFactor(t)
+			qps[k] *= nd.inj.LoadFactor(t)
+			budgets[k] *= nd.inj.BudgetFactor(t)
 		}
 		if nd.maxQPS > 0 {
-			loadFrac[i] = qps[i] / nd.maxQPS
+			loadFrac[k] = qps[k] / nd.maxQPS
 		}
 	}
 
 	stepWall := obs.BeginWall(f.obs)
-	recs, err := f.stepAll(qps, loadFrac, budgets)
+	recs, err := f.stepAll(act, qps, loadFrac, budgets)
 	stepWall.End(f.obs, "fleet.step")
 	if err != nil {
 		return SliceRecord{}, err
@@ -327,23 +411,25 @@ func (f *Fleet) Step(offered, budgetW float64) (SliceRecord, error) {
 	// slice's fleet record.
 	rec := SliceRecord{
 		T: t, OfferedQPS: offered, BudgetW: budgetW,
+		Members: act,
 		NodeQPS: qps, NodeBudgetW: budgets,
 		NodeP99Ms:    make([]float64, n),
 		NodeViolated: make([]bool, n),
 	}
 	met := 0
-	for i, nd := range f.nodes {
-		r := recs[i]
+	for k, id := range act {
+		nd := f.nodes[id]
+		r := recs[k]
 		nd.recs = append(nd.recs, r)
-		f.tele[i] = Telemetry{
-			Machine: i, MaxQPS: nd.maxQPS, RefMaxPowerW: nd.maxPowerW,
-			Valid: true, QPS: qps[i],
+		f.tele[id] = Telemetry{
+			Machine: id, MaxQPS: nd.maxQPS, RefMaxPowerW: nd.maxPowerW,
+			Valid: true, QPS: qps[k],
 			P99Ms: r.P99Ms, QoSMs: r.QoSMs, Violated: r.Violated,
-			AvgPowerW: r.AvgPowerW, BudgetW: budgets[i],
+			AvgPowerW: r.AvgPowerW, BudgetW: budgets[k],
 			FailedCores: r.FailedCores, Degraded: r.Degraded,
 		}
-		rec.NodeP99Ms[i] = r.P99Ms
-		rec.NodeViolated[i] = r.Violated
+		rec.NodeP99Ms[k] = r.P99Ms
+		rec.NodeViolated[k] = r.Violated
 		if !r.Violated {
 			met++
 		}
@@ -379,10 +465,10 @@ func (f *Fleet) Run(slices int, load harness.LoadPattern, budget harness.BudgetP
 	if budget == nil {
 		return nil, fmt.Errorf("fleet: nil budget pattern")
 	}
-	capQPS := f.CapacityQPS()
-	refW := f.RefPowerW()
+	// Capacity and reference power are resampled every slice: a caller
+	// (or control plane) may change membership between Runs or steps.
 	for sl := 0; sl < slices; sl++ {
-		if _, err := f.Step(load(f.now)*capQPS, budget(f.now)*refW); err != nil {
+		if _, err := f.Step(load(f.now)*f.CapacityQPS(), budget(f.now)*f.RefPowerW()); err != nil {
 			return nil, err
 		}
 	}
@@ -390,7 +476,8 @@ func (f *Fleet) Run(slices int, load harness.LoadPattern, budget harness.BudgetP
 }
 
 // Result snapshots the fleet's accumulated history: the fleet-level
-// slice records plus one harness.Result per machine (index-aligned),
+// slice records plus one harness.Result per machine slot (indexed by
+// stable id, evicted machines included with their partial histories),
 // so every single-machine aggregate remains available per node.
 func (f *Fleet) Result() *Result {
 	res := &Result{

@@ -1,0 +1,265 @@
+package fleet_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"cuttlesys/internal/fleet"
+)
+
+// churnJSON runs a fixed membership-churn script — join mid-run, evict
+// mid-run — and returns the marshalled result.
+func churnJSON(t *testing.T, workers int) []byte {
+	t.Helper()
+	specs := testSpecs(t, 4, nil)
+	f, err := fleet.New(fleet.Config{Router: fleet.LeastLoaded{}, Arbiter: fleet.Headroom{}, Workers: workers},
+		specs[:3]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, err := f.Step(0.5*f.CapacityQPS(), 0.7*f.RefPowerW()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step(2)
+	if id, err := f.Attach(specs[3]); err != nil || id != 3 {
+		t.Fatalf("attach: id %d, err %v", id, err)
+	}
+	step(2)
+	if err := f.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	step(2)
+	buf, err := json.Marshal(f.Result())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestMembershipChurn exercises join and evict mid-run: the stepping
+// set, capacity, per-slice Members and per-node histories must all
+// track membership, and the joining machine must share the fleet
+// clock.
+func TestMembershipChurn(t *testing.T) {
+	specs := testSpecs(t, 4, nil)
+	f, err := fleet.New(fleet.Config{}, specs[:3]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capBefore := f.CapacityQPS()
+	run := func(n int) []fleet.SliceRecord {
+		t.Helper()
+		var out []fleet.SliceRecord
+		for i := 0; i < n; i++ {
+			rec, err := f.Step(0.5*f.CapacityQPS(), 0.7*f.RefPowerW())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, rec)
+		}
+		return out
+	}
+	pre := run(2)
+	if got := pre[1].Members; len(got) != 3 {
+		t.Fatalf("pre-churn members %v", got)
+	}
+
+	// Join: the new machine fast-forwards to the fleet clock and serves
+	// from the next slice.
+	id, err := f.Attach(specs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 || f.Size() != 4 || f.Slots() != 4 {
+		t.Fatalf("attach id %d size %d slots %d", id, f.Size(), f.Slots())
+	}
+	if got := specs[3].Machine.Now(); math.Abs(got-f.Now()) > 1e-12 {
+		t.Fatalf("joined machine clock %v, fleet clock %v", got, f.Now())
+	}
+	if f.CapacityQPS() <= capBefore {
+		t.Fatal("capacity did not grow on join")
+	}
+	mid := run(2)
+	if got := mid[0].Members; len(got) != 4 || got[3] != 3 {
+		t.Fatalf("post-join members %v", got)
+	}
+	if mid[0].NodeQPS[3] <= 0 {
+		t.Fatalf("joined machine got no traffic: %v", mid[0].NodeQPS)
+	}
+	if math.Abs(mid[0].T-specRecordT(t, f, 3, 0)) > 1e-12 {
+		t.Fatal("joined machine's first slice not on the fleet timeline")
+	}
+
+	// Evict: the machine leaves the stepping set but keeps its history.
+	if err := f.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	if f.IsActive(1) || f.Size() != 3 || f.Slots() != 4 {
+		t.Fatalf("evict bookkeeping: active %v size %d slots %d", f.IsActive(1), f.Size(), f.Slots())
+	}
+	post := run(2)
+	if got := post[0].Members; len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("post-evict members %v", got)
+	}
+	res := f.Result()
+	if len(res.Nodes) != 4 {
+		t.Fatalf("%d node histories", len(res.Nodes))
+	}
+	if got := len(res.Nodes[1].Slices); got != 4 {
+		t.Fatalf("evicted machine has %d slice records, want 4", got)
+	}
+	if got := len(res.Nodes[3].Slices); got != 4 {
+		t.Fatalf("joined machine has %d slice records, want 4", got)
+	}
+
+	// Error paths.
+	if err := f.Evict(1); err == nil {
+		t.Error("double evict accepted")
+	}
+	if err := f.Evict(99); err == nil {
+		t.Error("unknown machine evicted")
+	}
+	for _, rem := range []int{0, 2, 3} {
+		if err := f.Evict(rem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Step(100, 100); err == nil {
+		t.Error("empty fleet stepped")
+	}
+}
+
+// specRecordT digs machine id's slice-record start time out of the
+// fleet result.
+func specRecordT(t *testing.T, f *fleet.Fleet, id, slice int) float64 {
+	t.Helper()
+	res := f.Result()
+	if id >= len(res.Nodes) || slice >= len(res.Nodes[id].Slices) {
+		t.Fatalf("no record for machine %d slice %d", id, slice)
+	}
+	return res.Nodes[id].Slices[slice].T
+}
+
+// TestMembershipChurnDeterministic extends the fleet's determinism
+// contract to membership churn: a join plus an evict mid-run must
+// produce byte-identical results under serial and parallel stepping.
+func TestMembershipChurnDeterministic(t *testing.T) {
+	serial := churnJSON(t, 1)
+	parallel := churnJSON(t, 8)
+	if string(serial) != string(parallel) {
+		t.Fatal("membership churn result depends on stepping parallelism")
+	}
+}
+
+// flapTele alternates one machine between violated and healthy.
+func flapTele(n, flapper int, badSlice bool) []fleet.Telemetry {
+	ts := tele(n)
+	ts[flapper].Violated = badSlice
+	return ts
+}
+
+// TestQoSAwareFlapStorm is the recovery-asymmetry regression: under a
+// long flap storm the weight must stay strictly positive (it decays to
+// the floor, never to zero), and once the storm ends the machine must
+// converge back to exactly full weight — including from a pathological
+// subnormal floor where the old purely multiplicative recovery (w×1.25
+// rounding back to w) starved the machine forever.
+func TestQoSAwareFlapStorm(t *testing.T) {
+	q := &fleet.QoSAware{}
+	for i := 0; i < 400; i++ {
+		q.Route(900, flapTele(3, 1, i%2 == 0))
+		if w := q.Weight(1); !(w > 0) {
+			t.Fatalf("weight hit zero at flap slice %d", i)
+		}
+	}
+	if w := q.Weight(1); w > 0.1 {
+		t.Fatalf("storm did not drain the flapper: weight %v", w)
+	}
+	var shares []float64
+	for i := 0; i < 30; i++ {
+		shares = q.Route(900, flapTele(3, 1, false))
+	}
+	if w := q.Weight(1); w != 1 {
+		t.Fatalf("weight %v after recovery, want exactly 1", w)
+	}
+	if math.Abs(shares[1]-shares[0]) > 1e-9 {
+		t.Fatalf("recovered machine not at full share: %v", shares)
+	}
+
+	// Subnormal floor: decay all the way down, then require bounded
+	// recovery. Multiplicative-only recovery is a fixed point here.
+	qs := &fleet.QoSAware{Floor: 5e-324}
+	for i := 0; i < 1200; i++ {
+		qs.Route(900, flapTele(2, 1, true))
+	}
+	if w := qs.Weight(1); !(w > 0) {
+		t.Fatal("subnormal floor underflowed to zero")
+	}
+	for i := 0; i < 40; i++ {
+		qs.Route(900, flapTele(2, 1, false))
+	}
+	if w := qs.Weight(1); w != 1 {
+		t.Fatalf("subnormal-floor weight %v after 40 healthy slices, want 1", w)
+	}
+
+	// Symmetric AIMD (Recover 2): drain and restore at the same rate.
+	sym := &fleet.QoSAware{Recover: 2}
+	for i := 0; i < 6; i++ {
+		sym.Route(900, flapTele(2, 1, true))
+	}
+	for i := 0; i < 6; i++ {
+		sym.Route(900, flapTele(2, 1, false))
+	}
+	if w := sym.Weight(1); w != 1 {
+		t.Fatalf("symmetric recovery incomplete after matching healthy slices: %v", w)
+	}
+}
+
+// TestQoSAwareMembershipStable pins the id-keyed weight contract: a
+// machine vanishing from the routed set (quarantine, eviction) and
+// later reappearing keeps its decayed weight — the old length-keyed
+// state silently reset every weight to 1 whenever N changed.
+func TestQoSAwareMembershipStable(t *testing.T) {
+	q := &fleet.QoSAware{}
+	full := tele(3)
+	full[1].Violated = true
+	for i := 0; i < 4; i++ {
+		q.Route(900, full)
+	}
+	drained := q.Weight(1)
+	if drained >= 0.2 {
+		t.Fatalf("setup: weight %v not drained", drained)
+	}
+
+	// Machine 1 leaves the routed view; the survivors' weights and the
+	// absentee's must be untouched.
+	sub := []fleet.Telemetry{full[0], full[2]}
+	q.Route(900, sub)
+	if w := q.Weight(1); w != drained {
+		t.Fatalf("absent machine's weight changed: %v -> %v", drained, w)
+	}
+	if w := q.Weight(0); w != 1 {
+		t.Fatalf("survivor weight reset: %v", w)
+	}
+
+	// It returns healthy: recovery resumes from the decayed weight, not
+	// from a reset.
+	healthy := tele(3)
+	shares := q.Route(900, healthy)
+	if !(shares[1] < shares[0]) {
+		t.Fatalf("returning machine served at full weight immediately: %v", shares)
+	}
+
+	// A brand-new id starts at full weight.
+	grown := append(healthy, fleet.Telemetry{Machine: 7, MaxQPS: 1000, RefMaxPowerW: 100})
+	q.Route(900, grown)
+	if w := q.Weight(7); w != 1 {
+		t.Fatalf("new machine weight %v", w)
+	}
+}

@@ -17,8 +17,8 @@ import (
 // interleaving. Each machine's step is self-contained — its inputs
 // were computed serially from last slice's telemetry before the fan-
 // out, and all cross-machine reductions happen after the join.
-func (f *Fleet) stepAll(qps, loadFrac, budgets []float64) ([]harness.SliceRecord, error) {
-	n := len(f.nodes)
+func (f *Fleet) stepAll(ids []int, qps, loadFrac, budgets []float64) ([]harness.SliceRecord, error) {
+	n := len(ids)
 	recs := make([]harness.SliceRecord, n)
 	errs := make([]error, n)
 
@@ -27,8 +27,8 @@ func (f *Fleet) stepAll(qps, loadFrac, budgets []float64) ([]harness.SliceRecord
 		workers = n
 	}
 	if workers == 1 {
-		for i, nd := range f.nodes {
-			recs[i], errs[i] = nd.d.StepSlice([]float64{qps[i]}, loadFrac[i], budgets[i])
+		for k, id := range ids {
+			recs[k], errs[k] = f.nodes[id].d.StepSlice([]float64{qps[k]}, loadFrac[k], budgets[k])
 		}
 	} else {
 		var next atomic.Int64
@@ -38,20 +38,20 @@ func (f *Fleet) stepAll(qps, loadFrac, budgets []float64) ([]harness.SliceRecord
 			go func() {
 				defer wg.Done()
 				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
+					k := int(next.Add(1)) - 1
+					if k >= n {
 						return
 					}
-					recs[i], errs[i] = f.nodes[i].d.StepSlice([]float64{qps[i]}, loadFrac[i], budgets[i])
+					recs[k], errs[k] = f.nodes[ids[k]].d.StepSlice([]float64{qps[k]}, loadFrac[k], budgets[k])
 				}
 			}()
 		}
 		wg.Wait()
 	}
 
-	for i, err := range errs {
+	for k, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("fleet: machine %d: %w", i, err)
+			return nil, fmt.Errorf("fleet: machine %d: %w", ids[k], err)
 		}
 	}
 	return recs, nil

@@ -79,22 +79,54 @@ func (LeastLoaded) Route(offered float64, tele []Telemetry) []float64 {
 
 // QoSAware is a stateful multiplicative-decrease router: a machine
 // that violated QoS, lost cores, or entered degraded mode last slice
-// has its routing weight halved; a healthy slice recovers it by 25%
-// up to full. Shares are weight × capacity, so a big healthy machine
-// still absorbs more than a small one. The AIMD shape drains traffic
-// from a faulty node within a few slices and restores it gradually,
-// avoiding the thundering-herd flap of instant reinstatement.
+// has its routing weight halved; a healthy slice multiplies it by
+// Recover (default 1.25) up to full. Shares are weight × capacity, so
+// a big healthy machine still absorbs more than a small one. The AIMD
+// shape drains traffic from a faulty node within a few slices and
+// restores it gradually, avoiding the thundering-herd flap of instant
+// reinstatement.
+//
+// Weights are keyed by the stable machine id, so membership churn
+// (machines joining or leaving between slices) never resets a
+// surviving machine's weight. Recovery is clamped below by an
+// additive step: pure multiplicative recovery from a weight near zero
+// stalls — with a subnormal floor, w×1.25 can round back to w and the
+// machine starves forever — so a healthy slice always restores at
+// least recoveryStep of weight. With the default floor the additive
+// term only engages below the floor and the dynamics are unchanged.
 type QoSAware struct {
 	// Floor bounds how far a machine's weight can decay, keeping a
 	// trickle of traffic flowing so recovery is observable. Default
 	// 0.05.
 	Floor float64
+	// Recover is the multiplicative weight restoration per healthy
+	// slice; values <= 1 select the default 1.25. The default restores
+	// much more slowly than the ×0.5 decay drains — a machine that
+	// flapped down to the floor needs ~14 clean slices back to full —
+	// so deployments that re-admit quarantined machines (the control
+	// plane's probation path) typically set 2 for a symmetric AIMD.
+	Recover float64
 
-	w []float64
+	w map[int]float64
 }
+
+// recoveryStep is the minimum absolute weight restored per healthy
+// slice — small enough never to outrun ×1.25 recovery above weight
+// 1/64 (below the default floor), large enough to escape the
+// subnormal-stall region in a handful of slices.
+const recoveryStep = 1.0 / 256
 
 // Name implements Router.
 func (q *QoSAware) Name() string { return "qos-aware" }
+
+// Weight reports machine id's current routing weight in [floor, 1]; a
+// machine the router has not seen yet is at full weight.
+func (q *QoSAware) Weight(id int) float64 {
+	if w, ok := q.w[id]; ok {
+		return w
+	}
+	return 1
+}
 
 // Route implements Router.
 func (q *QoSAware) Route(offered float64, tele []Telemetry) []float64 {
@@ -102,22 +134,28 @@ func (q *QoSAware) Route(offered float64, tele []Telemetry) []float64 {
 	if floor <= 0 {
 		floor = 0.05
 	}
-	if len(q.w) != len(tele) {
-		q.w = make([]float64, len(tele))
-		for i := range q.w {
-			q.w[i] = 1
-		}
+	rec := q.Recover
+	if rec <= 1 {
+		rec = 1.25
+	}
+	if q.w == nil {
+		q.w = make(map[int]float64, len(tele))
 	}
 	eff := make([]float64, len(tele))
 	for i, t := range tele {
+		w, ok := q.w[t.Machine]
+		if !ok {
+			w = 1
+		}
 		if t.Valid {
 			if t.Violated || t.Degraded || t.FailedCores > 0 {
-				q.w[i] = math.Max(floor, q.w[i]*0.5)
+				w = math.Max(floor, w*0.5)
 			} else {
-				q.w[i] = math.Min(1, q.w[i]*1.25)
+				w = math.Min(1, math.Max(w*rec, w+recoveryStep))
 			}
+			q.w[t.Machine] = w
 		}
-		eff[i] = q.w[i] * t.MaxQPS
+		eff[i] = w * t.MaxQPS
 	}
 	return divide(offered, eff)
 }

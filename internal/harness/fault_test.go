@@ -147,6 +147,169 @@ func TestProfileRetryBounded(t *testing.T) {
 	}
 }
 
+// TestProfileRetryParams covers the configurable bound: an explicit
+// Params.MaxProfileRetries is honoured, a negative bound disables
+// retries, and a huge bound with a permanently failing validator
+// degrades gracefully — re-profiling stops at half the quantum, the
+// decision and steady phase still run, and the slice stays exactly one
+// SliceDur on the clock grid.
+func TestProfileRetryParams(t *testing.T) {
+	prof := sim.Uniform(16, true, 16, config.Narrowest, config.OneWay)
+	mk := func(rejections int) *validatingScheduler {
+		return &validatingScheduler{
+			staticScheduler: staticScheduler{
+				alloc:    sim.Uniform(16, true, 16, config.Widest, config.OneWay),
+				profiles: []Phase{{Dur: 0.001, Alloc: prof}, {Dur: 0.001, Alloc: prof}},
+			},
+			rejections: rejections,
+		}
+	}
+	step := func(s *validatingScheduler, p Params) SliceRecord {
+		t.Helper()
+		m := testMachine(t)
+		d, err := NewDriver(m, Single(s), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetParams(p)
+		rec, err := d.StepSlice([]float64{0.5 * m.LC().MaxQPS}, 0.5, 0.8*m.MaxPowerW())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Now() - rec.T; got > SliceDur+1e-9 {
+			t.Fatalf("slice overran the quantum: %v elapsed", got)
+		}
+		if s.decides != 1 {
+			t.Fatalf("decision phases: %d, want 1", s.decides)
+		}
+		if len(s.steadies) != 1 || s.steadies[0].Dur <= 0 {
+			t.Fatal("steady phase did not run")
+		}
+		return rec
+	}
+
+	// Explicit bound honoured.
+	if rec := step(mk(1000), Params{MaxProfileRetries: 5}); rec.ProfileRetries != 5 {
+		t.Fatalf("ProfileRetries = %d, want 5", rec.ProfileRetries)
+	}
+	// Negative bound disables retries.
+	if rec := step(mk(1000), Params{MaxProfileRetries: -1}); rec.ProfileRetries != 0 {
+		t.Fatalf("ProfileRetries = %d with retries disabled", rec.ProfileRetries)
+	}
+	// Zero selects the package default.
+	if rec := step(mk(1000), Params{}); rec.ProfileRetries != MaxProfileRetries {
+		t.Fatalf("ProfileRetries = %d, want default %d", rec.ProfileRetries, MaxProfileRetries)
+	}
+	// Huge bound, persistent corruption: the half-quantum guard stops
+	// re-profiling long before the bound, leaving the slice intact.
+	rec := step(mk(1<<30), Params{MaxProfileRetries: 1 << 30})
+	if rec.ProfileRetries >= 1<<30 {
+		t.Fatal("retry bound was not cut short by the slice-time guard")
+	}
+	if rec.ProfileRetries < MaxProfileRetries {
+		t.Fatalf("guard fired too early: %d retries", rec.ProfileRetries)
+	}
+}
+
+// TestFaultRecoveryAtFinalQuantum pins the window edge against the
+// slice grid: an event whose End lands exactly on the final quantum's
+// start time is fully recovered for that quantum (windows are
+// half-open), while an event covering the run's tail stays active
+// through the last slice. The boundary is probed from a clean run so
+// the test is immune to float drift in the accumulated clock.
+func TestFaultRecoveryAtFinalQuantum(t *testing.T) {
+	const slices = 6
+	mkSched := func() *staticScheduler {
+		return &staticScheduler{alloc: sim.Uniform(16, true, 16, config.Widest, config.OneWay)}
+	}
+	probe, err := Run(testMachine(t), mkSched(), slices, ConstantLoad(0.5), ConstantBudget(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastT := probe.Slices[slices-1].T
+
+	inj := fault.MustSchedule(4,
+		fault.Event{Kind: fault.CoreFailStop, Start: 0, End: lastT, Cores: 4},
+		fault.Event{Kind: fault.CoreFailSlow, Start: lastT, End: lastT + 1, Factor: 0.5})
+	res, err := RunFaulted(testMachine(t), mkSched(), slices,
+		ConstantLoad(0.5), ConstantBudget(0.8), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < slices-1; i++ {
+		if got := res.Slices[i].FailedCores; got != 4 {
+			t.Fatalf("slice %d: %d failed cores, want 4", i, got)
+		}
+	}
+	last := res.Slices[slices-1]
+	if last.FailedCores != 0 {
+		t.Fatalf("final quantum still fail-stopped: %d cores", last.FailedCores)
+	}
+	if !reflect.DeepEqual(last.FaultKinds, []string{"core-failslow"}) {
+		t.Fatalf("final quantum fault kinds %v, want only core-failslow", last.FaultKinds)
+	}
+}
+
+// TestComposedInjectorOnDrainedMachine drives a fault.Compose stack —
+// a standing chaos schedule under a drill's budget squeeze — on a
+// machine offered zero load, the control plane's drain posture. The
+// slice loop must stay well-defined (no violations from phantom
+// traffic), both layers' effects must land, and wrapping a single
+// schedule with a nil overlay must be a bit-exact no-op.
+func TestComposedInjectorOnDrainedMachine(t *testing.T) {
+	// The composite satisfies the harness's injector surface directly.
+	base := fault.MustSchedule(4,
+		fault.Event{Kind: fault.CoreFailStop, Start: 0.2, End: 0.4, Cores: 4})
+	drill := fault.MustSchedule(5,
+		fault.Event{Kind: fault.BudgetDrop, Start: 0.3, End: 0.5, Factor: 0.5})
+	var inj FaultInjector = fault.Compose(base, drill)
+
+	mkSched := func() *staticScheduler {
+		return &staticScheduler{alloc: sim.Uniform(16, true, 16, config.Widest, config.OneWay)}
+	}
+	res, err := RunFaulted(testMachine(t), mkSched(), 6,
+		ConstantLoad(0), ConstantBudget(0.8), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawStop, sawDrop := false, false
+	for i, rec := range res.Slices {
+		if rec.QPS != 0 {
+			t.Fatalf("slice %d: drained machine offered %v qps", i, rec.QPS)
+		}
+		if rec.Violated {
+			t.Fatalf("slice %d: zero-load slice violated QoS", i)
+		}
+		if rec.FailedCores == 4 {
+			sawStop = true
+		}
+		if rec.BudgetW < res.Slices[0].BudgetW*0.6 {
+			sawDrop = true
+		}
+	}
+	if !sawStop || !sawDrop {
+		t.Fatalf("composed layers missing on drained machine: failstop %v, budgetdrop %v",
+			sawStop, sawDrop)
+	}
+
+	// Drain-aware wrapping cost: Compose(base, nil) is base itself.
+	plain, err := RunFaulted(testMachine(t), mkSched(), 6,
+		ConstantLoad(0.5), ConstantBudget(0.8), fault.MustSchedule(4,
+			fault.Event{Kind: fault.CoreFailStop, Start: 0.2, End: 0.4, Cores: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := RunFaulted(testMachine(t), mkSched(), 6,
+		ConstantLoad(0.5), ConstantBudget(0.8), fault.Compose(fault.MustSchedule(4,
+			fault.Event{Kind: fault.CoreFailStop, Start: 0.2, End: 0.4, Cores: 4}), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, wrapped) {
+		t.Fatal("nil-overlay composition diverged from the bare schedule")
+	}
+}
+
 func TestResilienceMetrics(t *testing.T) {
 	v := func(fault bool) SliceRecord {
 		rec := SliceRecord{Violated: true, QoSMs: 1, P99Ms: 2}

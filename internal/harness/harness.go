@@ -62,11 +62,39 @@ type ProfileValidator interface {
 	ValidateProfile(profile []sim.PhaseResult) error
 }
 
-// MaxProfileRetries bounds in-slice profiling re-sampling when a
-// ProfileValidator rejects the samples. Each retry burns another
-// profiling window of the slice, so the bound keeps a persistently
-// corrupt sensor from consuming the whole quantum.
+// MaxProfileRetries is the default bound on in-slice profiling
+// re-sampling when a ProfileValidator rejects the samples. Each retry
+// burns another profiling window of the slice, so the bound keeps a
+// persistently corrupt sensor from consuming the whole quantum.
+// Override per driver with Params.MaxProfileRetries.
 const MaxProfileRetries = 2
+
+// Params tunes a Driver's policy knobs. The zero value selects every
+// documented default, so existing callers see identical behaviour.
+type Params struct {
+	// MaxProfileRetries bounds how many times a rejected profile is
+	// re-taken within one slice. Zero selects the package default
+	// (MaxProfileRetries = 2); a negative value disables retries
+	// entirely — the first sample set stands however corrupt.
+	//
+	// Whatever the bound, retries additionally stop once re-profiling
+	// would push the slice past half its quantum: a huge bound with a
+	// persistently failing validator degrades to a truncated profile
+	// plus a normal steady phase instead of profiling burning the
+	// whole slice (and overrunning the clock grid).
+	MaxProfileRetries int
+}
+
+// maxProfileRetries resolves the configured bound against defaults.
+func (p Params) maxProfileRetries() int {
+	switch {
+	case p.MaxProfileRetries > 0:
+		return p.MaxProfileRetries
+	case p.MaxProfileRetries < 0:
+		return 0
+	}
+	return MaxProfileRetries
+}
 
 // DegradedReporter is an optional scheduler extension reporting
 // whether the scheduler spent the just-ended slice in a degraded
@@ -471,6 +499,7 @@ type Driver struct {
 	reporter  DegradedReporter
 	nServices int
 	prevAlloc *sim.Allocation
+	params    Params
 
 	// Observability: obs is the machine-level collector (Nop unless
 	// SetCollector attached one), scope the slice-positioned view the
@@ -505,6 +534,10 @@ func NewDriver(m *sim.Machine, s MultiScheduler, inj FaultInjector) (*Driver, er
 	d.reporter, _ = s.(DegradedReporter)
 	return d, nil
 }
+
+// SetParams replaces the driver's policy knobs; the zero Params
+// restores the defaults. Call between slices, not mid-step.
+func (d *Driver) SetParams(p Params) { d.params = p }
 
 // Machine returns the driven machine.
 func (d *Driver) Machine() *sim.Machine { return d.m }
@@ -594,6 +627,11 @@ func (d *Driver) StepSlice(qps []float64, loadFrac, budgetW float64) (SliceRecor
 	// 1. Profiling phases. A ProfileValidator scheduler gets corrupt
 	// samples re-taken (bounded, and each retry consumes slice time).
 	profPhases := s.ProfilePhasesMulti(qps, budgetW)
+	maxRetries := d.params.maxProfileRetries()
+	profDur := 0.0
+	for _, ph := range profPhases {
+		profDur += ph.Dur
+	}
 	var profResults []sim.PhaseResult
 	for attempt := 0; ; attempt++ {
 		profResults = make([]sim.PhaseResult, 0, len(profPhases))
@@ -612,7 +650,15 @@ func (d *Driver) StepSlice(qps []float64, loadFrac, budgetW float64) (SliceRecor
 			}
 		}
 		if len(profPhases) == 0 || d.validator == nil ||
-			attempt >= MaxProfileRetries || d.validator.ValidateProfile(profResults) == nil {
+			attempt >= maxRetries || d.validator.ValidateProfile(profResults) == nil {
+			rec.ProfileRetries = attempt
+			break
+		}
+		// Graceful exhaustion: however large the configured bound,
+		// another full re-profile must not push the slice past half its
+		// quantum — the decision and steady phase still have to run on
+		// the normal clock grid. The last (corrupt) sample set stands.
+		if elapsed+profDur > SliceDur/2 {
 			rec.ProfileRetries = attempt
 			break
 		}

@@ -55,6 +55,16 @@ const (
 	// budget-arbitration steps (attrs: router / arbiter).
 	EventRoute     = "fleet.route"
 	EventArbitrate = "fleet.arbitrate"
+	// EventHealth marks a control-plane health state transition for one
+	// machine (attrs: from, to, reason).
+	EventHealth = "ctrl.health"
+	// EventJoin / EventEvict mark control-plane membership changes
+	// (attrs: machine, reason).
+	EventJoin  = "ctrl.join"
+	EventEvict = "ctrl.evict"
+	// EventScale marks an autoscaler action (attrs: dir = up|down,
+	// machine, util).
+	EventScale = "ctrl.scale"
 )
 
 // Metric names. Per-machine series additionally carry MachineLabel
@@ -97,4 +107,13 @@ const (
 	MetricFleetInstrB         = "cuttlesys_fleet_instr_billions_total"
 	MetricFleetOverheadSerial = "cuttlesys_fleet_overhead_serial_seconds_total"
 	MetricFleetOverheadCrit   = "cuttlesys_fleet_overhead_crit_seconds_total"
+
+	// Control plane (cluster scope; transition/action counters carry a
+	// state or direction label).
+	MetricCtrlTransitions = "cuttlesys_ctrl_transitions_total"
+	MetricCtrlEvictions   = "cuttlesys_ctrl_evictions_total"
+	MetricCtrlJoins       = "cuttlesys_ctrl_joins_total"
+	MetricCtrlScaleOps    = "cuttlesys_ctrl_scale_ops_total"
+	MetricCtrlServing     = "cuttlesys_ctrl_serving_machines"
+	MetricCtrlUnroutedQPS = "cuttlesys_ctrl_unrouted_qps"
 )

@@ -145,6 +145,18 @@ func (m *Machine) Batch() []*workload.Profile { return m.batch }
 // Now returns the simulated wall clock in seconds.
 func (m *Machine) Now() float64 { return m.now }
 
+// FastForward advances the simulated clock to t without executing
+// anything — no queries arrive, no instructions retire, no energy is
+// drawn. A machine admitted to an already-running fleet is
+// fast-forwarded to the fleet clock so its slice records, fault
+// windows and trace events share the cluster timeline. Rewinding is
+// not allowed; t at or before the current clock is a no-op.
+func (m *Machine) FastForward(t float64) {
+	if t > m.now {
+		m.now = t
+	}
+}
+
 // PhaseResult reports one phase of execution under a fixed allocation.
 type PhaseResult struct {
 	Dur float64
