@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench chaos fleet ops trace bench-obs bench-decide lint fmt ci
+.PHONY: build test race vet bench chaos fleet ops trace bench-obs bench-decide lint lint-json fmt ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ bench:
 # Run the repository-invariant analyzer suite (see DESIGN.md §7).
 lint:
 	$(GO) run ./cmd/cuttlelint ./...
+
+# Emit every finding — waived ones included, marked allowed — as a
+# sorted deterministic JSON array (cuttlelint.json). CI uploads this
+# as an artifact when the lint step fails.
+lint-json:
+	$(GO) run ./cmd/cuttlelint -json ./... > cuttlelint.json
 
 # Fail if any file is not gofmt-formatted.
 fmt:

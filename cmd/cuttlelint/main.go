@@ -9,11 +9,18 @@
 //
 // Usage:
 //
-//	cuttlelint [-C dir] [-checks determinism,seedflow,...] [-show-allowed] [packages]
+//	cuttlelint [-C dir] [-checks determinism,seedflow,...] [-show-allowed] [-json] [packages]
 //
 // Package patterns are module-relative directories; a trailing /...
 // matches the subtree. With no patterns (or ./...) the whole module is
-// analyzed.
+// analyzed. The interprocedural checks (hottrans, dettaint,
+// lockregion) build their call graph from the analyzed packages only,
+// so run them over the full module for meaningful chains.
+//
+// -json emits every finding — waived ones included, marked allowed —
+// as a sorted, deterministic JSON array with structured call chains,
+// for CI artifacts and tooling. The exit status is unchanged: nonzero
+// when unwaived violations remain.
 package main
 
 import (
@@ -30,6 +37,7 @@ func main() {
 	dir := flag.String("C", ".", "directory inside the module to lint")
 	checks := flag.String("checks", "", "comma-separated subset of checks (default all)")
 	showAllowed := flag.Bool("show-allowed", false, "also print findings waived by //lint:allow")
+	jsonOut := flag.Bool("json", false, "emit findings as a sorted JSON array (includes waived findings, marked allowed)")
 	list := flag.Bool("list", false, "list available checks and exit")
 	flag.Parse()
 
@@ -68,6 +76,16 @@ func main() {
 	}
 
 	diags := analysis.RunAnalyzers(pkgs, suite)
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, loader.Root, diags); err != nil {
+			fatalf("%v", err)
+		}
+		if n := analysis.Violations(diags); n > 0 {
+			fmt.Fprintf(os.Stderr, "cuttlelint: %d violation(s)\n", n)
+			os.Exit(1)
+		}
+		return
+	}
 	if n := analysis.Format(os.Stdout, loader.Root, diags, *showAllowed); n > 0 {
 		fmt.Fprintf(os.Stderr, "cuttlelint: %d violation(s)\n", n)
 		os.Exit(1)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os/exec"
 	"testing"
 )
@@ -50,5 +52,32 @@ func TestDriverRepoClean(t *testing.T) {
 	run := exec.Command(bin, "-C", "../..", "./...")
 	if out, err := run.CombinedOutput(); err != nil {
 		t.Errorf("cuttlelint ./... on repo: %v\n%s", err, out)
+	}
+
+	// -json must also exit 0 on the clean tree, emit a valid array, and
+	// be byte-identical across runs (it is uploaded as a CI artifact).
+	jsonRun := func() []byte {
+		cmd := exec.Command(bin, "-C", "../..", "-json", "./...")
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("cuttlelint -json on repo: %v", err)
+		}
+		return out
+	}
+	first := jsonRun()
+	if !json.Valid(first) {
+		t.Fatalf("-json output is not valid JSON:\n%s", first)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal(first, &diags); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d["allowed"] != true {
+			t.Errorf("clean repo -json contains an unwaived finding: %v", d)
+		}
+	}
+	if second := jsonRun(); !bytes.Equal(first, second) {
+		t.Error("-json output differs across identical runs")
 	}
 }

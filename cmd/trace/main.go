@@ -60,16 +60,20 @@ func run(path, outPath string, chrome, summary bool, top int) error {
 		return err
 	}
 
-	w := io.Writer(os.Stdout)
-	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	if outPath == "" {
+		return convert(os.Stdout, events, chrome, summary, top)
 	}
-	return convert(w, events, chrome, summary, top)
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := convert(f, events, chrome, summary, top); err != nil {
+		f.Close()
+		return err
+	}
+	// Close carries the write-back error: a failed flush here means the
+	// converted trace never reached disk.
+	return f.Close()
 }
 
 // convert writes events in the selected form; the default is the

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -91,6 +92,100 @@ func TestRepoIsLintClean(t *testing.T) {
 	var buf bytes.Buffer
 	if n := Format(&buf, loader.Root, diags, false); n != 0 {
 		t.Errorf("repository has %d lint violation(s):\n%s", n, buf.String())
+	}
+}
+
+// TestStaleWaiverAudit verifies that a full-suite run reports
+// directives that suppress nothing, and that a subset run — which
+// cannot prove a waiver dead — stays silent about them.
+func TestStaleWaiverAudit(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "stale"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stale []Diagnostic
+	for _, d := range RunAnalyzers(pkgs, Analyzers()) {
+		if d.Check == "lint" && strings.Contains(d.Message, "stale //lint:allow") {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("full run: got %d stale-waiver reports, want exactly 1 (Pure's)", len(stale))
+	}
+	if base := filepath.Base(stale[0].Pos.Filename); base != "stale.go" {
+		t.Errorf("stale report in %s, want stale.go", base)
+	}
+	// Wall's directive suppressed a real finding, so only Pure's line
+	// may be reported.
+	if stale[0].Pos.Line != 14 {
+		t.Errorf("stale report at line %d, want 14 (Pure's directive)", stale[0].Pos.Line)
+	}
+
+	for _, d := range RunAnalyzers(pkgs, []*Analyzer{analyzerByName(t, "determinism")}) {
+		if d.Check == "lint" && strings.Contains(d.Message, "stale") {
+			t.Errorf("subset run reported a stale waiver: %s", d.Message)
+		}
+	}
+}
+
+// TestWriteJSONDeterministic verifies the -json wire form: valid JSON,
+// byte-identical across runs, with structured chains and allowed
+// markers.
+func TestWriteJSONDeterministic(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "dettaint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := RunAnalyzers(pkgs, []*Analyzer{analyzerByName(t, "dettaint")})
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, root, diags); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render()
+	if second := render(); first != second {
+		t.Error("WriteJSON output differs across identical runs")
+	}
+	if !json.Valid([]byte(first)) {
+		t.Fatal("WriteJSON emitted invalid JSON")
+	}
+	var out []map[string]any
+	if err := json.Unmarshal([]byte(first), &out); err != nil {
+		t.Fatal(err)
+	}
+	var chains, allowed int
+	for _, d := range out {
+		if _, ok := d["chain"]; ok {
+			chains++
+		}
+		if d["allowed"] == true {
+			allowed++
+		}
+	}
+	if chains == 0 {
+		t.Error("no diagnostic carried a structured chain")
+	}
+	if allowed == 0 {
+		t.Error("no waived diagnostic was marked allowed")
 	}
 }
 

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// buildFixtureProgram loads a fixture module and builds its call
+// graph.
+func buildFixtureProgram(t *testing.T, name string) *Program {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pkgs := loadModule(t, root)
+	return BuildProgram(pkgs)
+}
+
+func fnByName(t *testing.T, prog *Program, name string) *FuncInfo {
+	t.Helper()
+	for _, fi := range prog.Funcs {
+		if fi.Name == name {
+			return fi
+		}
+	}
+	t.Fatalf("no function named %q in program", name)
+	return nil
+}
+
+func hasSucc(prog *Program, from *FuncInfo, to string, withRefs bool) bool {
+	for _, s := range prog.succs(from, withRefs) {
+		if s.target.Name == to {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallGraphStaticAndInterface checks the two dispatch modes over
+// the dettaint fixture: a plain cross-package call, and an interface
+// method call resolved by assignability to its module-local
+// implementation.
+func TestCallGraphStaticAndInterface(t *testing.T) {
+	prog := buildFixtureProgram(t, "dettaint")
+
+	report := fnByName(t, prog, "main.report")
+	if !hasSucc(prog, report, "meta.Stamp", false) {
+		t.Error("static cross-package edge main.report → meta.Stamp missing")
+	}
+
+	write := fnByName(t, prog, "obs.WriteReport")
+	var ifaceResolved bool
+	for _, cs := range write.Calls {
+		for _, callee := range cs.Callees {
+			if cs.Iface && callee.Name == "tab.Table.Rows" {
+				ifaceResolved = true
+			}
+		}
+	}
+	if !ifaceResolved {
+		t.Error("interface call Source.Rows did not resolve to tab.Table.Rows")
+	}
+
+	if got := fnByName(t, prog, "main.main").pathName(); got != "cmd/bench.main" {
+		t.Errorf("pathName of command main = %q, want cmd/bench.main", got)
+	}
+}
+
+// TestCallGraphValueRefs checks the conservative function-value edge:
+// a function passed as a value is a successor of the passer.
+func TestCallGraphValueRefs(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module refs\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func apply(f func(int) int, x int) int { return f(x) }
+
+func double(x int) int { return x + x }
+
+// Chain hands double to apply as a value: no direct call edge, but a
+// reference edge the transitive passes must follow.
+func Chain(x int) int { return apply(double, x) }
+`,
+	})
+	_, pkgs := loadModule(t, root)
+	prog := BuildProgram(pkgs)
+	chain := fnByName(t, prog, "a.Chain")
+	if !hasSucc(prog, chain, "a.double", true) {
+		t.Error("value-reference edge a.Chain → a.double missing with refs enabled")
+	}
+	if hasSucc(prog, chain, "a.double", false) {
+		t.Error("a.double is not called directly; it must only appear as a reference edge")
+	}
+	if !hasSucc(prog, chain, "a.apply", false) {
+		t.Error("direct call edge a.Chain → a.apply missing")
+	}
+}
+
+// TestWriteSummaries checks the lockregion summaries over its fixture:
+// direct writes, the index-ordered shape, propagation through a call,
+// and the mutex escape.
+func TestWriteSummaries(t *testing.T) {
+	prog := buildFixtureProgram(t, "lockregion")
+	buildWriteSummaries(prog)
+
+	check := func(name string, param int, want writeKind) {
+		t.Helper()
+		fi := fnByName(t, prog, name)
+		if got := fi.summary.params[param].kind; got != want {
+			t.Errorf("%s param %d: kind = %d, want %d", name, param, got, want)
+		}
+	}
+	check("worker.Fill", 0, wkDirect)   // loop-local index: not parameter-derived
+	check("worker.Put", 0, wkIndexed)   // out[k] with k a parameter
+	check("worker.Deep", 0, wkDirect)   // inherits Fill's write through the call
+	check("worker.Locked", 1, wkNone)   // mutex escape clears the summary
+	check("clean.Chunked", 0, wkDirect) // transitively writes vals via Fill
+
+	put := fnByName(t, prog, "worker.Put")
+	if !put.summary.params[0].idxParams[1] {
+		t.Error("worker.Put: index parameter k (combined index 1) not recorded")
+	}
+	deep := fnByName(t, prog, "worker.Deep")
+	if len(deep.summary.params[0].hops) != 1 || deep.summary.params[0].hops[0].callee.Name != "worker.Fill" {
+		t.Error("worker.Deep: inherited write should carry one hop through worker.Fill")
+	}
+}

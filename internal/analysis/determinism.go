@@ -260,13 +260,13 @@ func checkMapRange(p *Pass, rng *ast.RangeStmt) {
 	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 		return
 	}
-	if op := orderSensitiveOp(p, rng); op != "" {
+	if op := orderSensitiveOp(p.Pkg, rng); op != "" {
 		p.Reportf(rng.Pos(), "map iteration with order-sensitive body (%s); iterate sorted keys for seed-stable output", op)
 	}
 }
 
-func orderSensitiveOp(p *Pass, rng *ast.RangeStmt) string {
-	info := p.Pkg.Info
+func orderSensitiveOp(pkg *Package, rng *ast.RangeStmt) string {
+	info := pkg.Info
 	keyName := rangeKeyName(rng)
 	found := ""
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
@@ -279,7 +279,7 @@ func orderSensitiveOp(p *Pass, rng *ast.RangeStmt) string {
 				if keyedByIdent(n.Args, keyName) {
 					return true // per-key accumulation is order-independent
 				}
-				if !sortedAfter(p, rng, appendTarget(n)) {
+				if !sortedAfter(pkg, rng, appendTarget(n)) {
 					found = "append without a subsequent sort"
 				}
 				return true
@@ -356,13 +356,13 @@ func appendTarget(call *ast.CallExpr) string {
 // sortedAfter reports whether target is handed to a sort/slices
 // function in a statement after the range loop inside the enclosing
 // function — the sorted-keys preamble.
-func sortedAfter(p *Pass, rng *ast.RangeStmt, target string) bool {
+func sortedAfter(pkg *Package, rng *ast.RangeStmt, target string) bool {
 	if target == "" {
 		return false
 	}
-	info := p.Pkg.Info
+	info := pkg.Info
 	sorted := false
-	for _, f := range p.Pkg.Files {
+	for _, f := range pkg.Files {
 		if f.Pos() > rng.Pos() || f.End() < rng.End() {
 			continue
 		}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetTaint is the interprocedural arm of the determinism contract:
+// experiment output must be a pure function of the seed, and the
+// narrow check only sees a nondeterminism source when it sits in the
+// same function as the output. This pass traces sources through the
+// call graph to the functions whose output the repo promises is
+// byte-stable — the sinks — and reports the chain that connects them:
+//
+//	time.Now wall-clock read in meta.Stamp flows into deterministic
+//	report sink cmd/bench.main (chain main.main → main.report →
+//	meta.Stamp)
+//
+// Sources: time.Now/Since/Until, the global math/rand source,
+// runtime.GOMAXPROCS / runtime.NumCPU, and order-sensitive map
+// iteration (same classifier the narrow check uses). Sinks: the main
+// function of every command under cmd/* (they write the BENCH_*.json
+// reports), exported Write*/Export* functions in internal/obs, and
+// ctrlplane's membership/transition/log functions. Each source is
+// reported once, attributed to the first sink (in source order) whose
+// closure reaches it. Waivers are honored at any chain frame, and
+// //lint:allow determinism directives keep covering the same code —
+// the taint pass generalises the narrow check, not its waivers.
+var DetTaint = &Analyzer{
+	Name:      "dettaint",
+	Doc:       "trace wall-clock, global rand, CPU-count and map-order sources through calls into deterministic report sinks",
+	Run:       runDetTaint,
+	Wide:      true,
+	AlsoAllow: []string{"determinism"},
+}
+
+// cpuCountFuncs read the host's execution width, which varies across
+// machines and -cpu settings; byte-stable output must not depend on it.
+var cpuCountFuncs = map[string]bool{"GOMAXPROCS": true, "NumCPU": true}
+
+// taintSource is one nondeterminism origin found inside a function
+// body.
+type taintSource struct {
+	pos  token.Pos
+	what string // e.g. "time.Now wall-clock read"
+}
+
+func runDetTaint(p *Pass) {
+	prog := p.Prog
+	sources := map[*FuncInfo][]taintSource{}
+	for _, fi := range prog.Funcs {
+		if srcs := scanTaintSources(fi); len(srcs) > 0 {
+			sources[fi] = srcs
+		}
+	}
+	reported := map[string]bool{} // source position → attributed to some sink
+	for _, sink := range prog.Funcs {
+		label, ok := taintSinkLabel(sink)
+		if !ok {
+			continue
+		}
+		type item struct {
+			fi    *FuncInfo
+			chain []Frame
+		}
+		sinkFrame := Frame{Func: sink.Name, Pos: prog.Fset.Position(sink.Decl.Name.Pos())}
+		queue := []item{{sink, []Frame{sinkFrame}}}
+		visited := map[*FuncInfo]bool{sink: true}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, src := range sources[cur.fi] {
+				key := prog.Fset.Position(src.pos).String()
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				p.ReportChain(src.pos, cur.chain, "%s in %s flows into %s; byte-stable reports must be a pure function of the seed",
+					src.what, cur.fi.Name, label)
+			}
+			for _, s := range prog.succs(cur.fi, true) {
+				if visited[s.target] {
+					continue
+				}
+				visited[s.target] = true
+				chain := append(append([]Frame{}, cur.chain...),
+					Frame{Func: s.target.Name, Pos: prog.Fset.Position(s.pos)})
+				queue = append(queue, item{s.target, chain})
+			}
+		}
+	}
+}
+
+// taintSinkLabel classifies the functions whose output the repo
+// promises is byte-stable for a fixed seed.
+func taintSinkLabel(fi *FuncInfo) (string, bool) {
+	path := fi.Pkg.Path
+	name := fi.Fn.Name()
+	switch {
+	case hasPathSegment(path, "cmd") && name == "main" && !hasReceiver(fi.Fn):
+		return "deterministic report sink " + fi.pathName(), true
+	case hasPathSegment(path, "internal/obs") && fi.Fn.Exported() &&
+		(strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Export")):
+		return "deterministic exporter " + fi.pathName(), true
+	case hasPathSegment(path, "internal/ctrlplane"):
+		low := strings.ToLower(name)
+		if strings.Contains(low, "log") || strings.Contains(low, "transition") || strings.Contains(low, "membership") {
+			return "control-plane event log " + fi.pathName(), true
+		}
+	}
+	return "", false
+}
+
+// scanTaintSources finds the nondeterminism origins in one body. The
+// leaf classifiers are the narrow determinism check's: wall clock,
+// global math/rand, plus CPU-count reads and order-sensitive map
+// ranges.
+func scanTaintSources(fi *FuncInfo) []taintSource {
+	info := fi.Pkg.Info
+	var srcs []taintSource
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn == nil || hasReceiver(fn) {
+				return true
+			}
+			switch path := pkgPath(fn); {
+			case path == "time" && wallClockFuncs[fn.Name()]:
+				srcs = append(srcs, taintSource{n.Pos(), "time." + fn.Name() + " wall-clock read"})
+			case (path == "math/rand" || path == "math/rand/v2") && !seedflowFuncs[fn.Name()]:
+				srcs = append(srcs, taintSource{n.Pos(), "global " + pathBase(path) + "." + fn.Name() + " draw"})
+			case path == "runtime" && cpuCountFuncs[fn.Name()]:
+				srcs = append(srcs, taintSource{n.Pos(), "runtime." + fn.Name() + " execution-width read"})
+			}
+		case *ast.RangeStmt:
+			tv, ok := info.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if op := orderSensitiveOp(fi.Pkg, n); op != "" {
+				srcs = append(srcs, taintSource{n.Pos(), "order-sensitive map iteration (" + op + ")"})
+			}
+		}
+		return true
+	})
+	return srcs
+}

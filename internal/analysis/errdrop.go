@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // Errdrop flags silently discarded error returns from module-local
@@ -10,10 +11,15 @@ import (
 // harness.Run / RunMulti / RunFaulted started returning errors. A
 // dropped error there means an experiment silently reports a partial
 // or nil result. Stdlib calls are out of scope (fmt.Println's error is
-// noise); our own API's errors are not.
+// noise); our own API's errors are not — with one targeted exception:
+// in the report-writing commands under cmd/*, a `defer w.Close()` or
+// `defer w.Flush()` on a handle opened for writing (os.Create,
+// os.OpenFile, a New*Writer constructor) discards exactly the error
+// that says the report bytes never reached disk, so those are flagged
+// even though the methods are foreign.
 var Errdrop = &Analyzer{
 	Name: "errdrop",
-	Doc:  "no ignored error results from module-local functions",
+	Doc:  "no ignored error results from module-local functions, nor deferred Close/Flush on writers in cmd/*",
 	Run:  runErrdrop,
 }
 
@@ -37,6 +43,100 @@ func runErrdrop(p *Pass) {
 			return true
 		})
 	}
+	if hasPathSegment(p.Pkg.Path, "cmd") && !p.Pkg.ForTest {
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkDeferredWriterClose(p, fd)
+				}
+			}
+		}
+	}
+}
+
+// writerOrigin reports whether a call opens a handle for writing,
+// returning a short description of the opener ("" otherwise).
+func writerOrigin(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	path, name := pkgPath(fn), fn.Name()
+	switch {
+	case path == "os" && (name == "Create" || name == "OpenFile"):
+		return "os." + name
+	case strings.HasPrefix(name, "NewWriter"):
+		return pathBase(path) + "." + name
+	}
+	return ""
+}
+
+// checkDeferredWriterClose flags `defer w.Close()` and `defer
+// w.Flush()` when w was opened for writing in the same function and
+// the method returns an error: the deferred call is the last chance
+// to learn that the kernel never accepted the report bytes.
+func checkDeferredWriterClose(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	writers := map[*types.Var]string{} // handle variable → opener
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		origin := writerOrigin(info, call)
+		if origin == "" || len(as.Lhs) == 0 {
+			return true
+		}
+		if id, ok := unparen(as.Lhs[0]).(*ast.Ident); ok {
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				writers[v] = origin
+			}
+		}
+		return true
+	})
+	if len(writers) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(def.Call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Close" && name != "Flush" {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || len(errResultIndices(fn)) == 0 {
+			return true
+		}
+		id, ok := unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		origin, isWriter := writers[v]
+		if !isWriter {
+			return true
+		}
+		p.Reportf(def.Pos(), "deferred %s.%s on a writer (%s) discards its error; a failed flush silently truncates the report — close explicitly and propagate", id.Name, name, origin)
+		return true
+	})
 }
 
 // moduleCallee resolves call to a module-local function or method, or

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -66,15 +67,28 @@ func hotMarked(fd *ast.FuncDecl) bool {
 // Exp per candidate by construction and cannot be tabulated.
 var hotLogCalls = map[string]bool{"Log": true, "Log2": true, "Log10": true, "Log1p": true}
 
-func checkHotBody(p *Pass, fd *ast.FuncDecl) {
-	info := p.Pkg.Info
-	name := fd.Name.Name
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// hotOffense is one purity break inside a function body. head names
+// the construct and tail carries the advice; the per-function check
+// (hotpath) and the transitive check (hottrans) compose them around
+// different subjects, so the wording stays identical either way the
+// violation is found.
+type hotOffense struct {
+	pos  token.Pos
+	head string // "make", "append", "map iteration", "math.Log", "composite literal"
+	tail string
+}
+
+// scanHotOffenses collects every hot-path purity break in a body: map
+// iteration, the allocating builtins, composite literals and the
+// math.Log family.
+func scanHotOffenses(info *types.Info, body *ast.BlockStmt) []hotOffense {
+	var offs []hotOffense
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.RangeStmt:
 			if t := info.TypeOf(n.X); t != nil {
 				if _, ok := t.Underlying().(*types.Map); ok {
-					p.Reportf(n.Pos(), "map iteration in hot-path function %s: nondeterministic order and hash-walk cost per call", name)
+					offs = append(offs, hotOffense{n.Pos(), "map iteration", ": nondeterministic order and hash-walk cost per call"})
 				}
 			}
 		case *ast.CallExpr:
@@ -82,16 +96,24 @@ func checkHotBody(p *Pass, fd *ast.FuncDecl) {
 				if b, ok := info.Uses[id].(*types.Builtin); ok {
 					switch b.Name() {
 					case "make", "new", "append":
-						p.Reportf(n.Pos(), "%s in hot-path function %s allocates per call; hoist the buffer into per-worker state", b.Name(), name)
+						offs = append(offs, hotOffense{n.Pos(), b.Name(), " allocates per call; hoist the buffer into per-worker state"})
 					}
 				}
 			}
 			if fn := calleeFunc(info, n); fn != nil && pkgPath(fn) == "math" && hotLogCalls[fn.Name()] {
-				p.Reportf(n.Pos(), "math.%s in hot-path function %s; precompute it into the score tables", fn.Name(), name)
+				offs = append(offs, hotOffense{n.Pos(), "math." + fn.Name(), "; precompute it into the score tables"})
 			}
 		case *ast.CompositeLit:
-			p.Reportf(n.Pos(), "composite literal in hot-path function %s constructs a fresh value per call; hoist it into per-worker state", name)
+			offs = append(offs, hotOffense{n.Pos(), "composite literal", " constructs a fresh value per call; hoist it into per-worker state"})
 		}
 		return true
 	})
+	return offs
+}
+
+func checkHotBody(p *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	for _, off := range scanHotOffenses(p.Pkg.Info, fd.Body) {
+		p.Reportf(off.pos, "%s in hot-path function %s%s", off.head, name, off.tail)
+	}
 }

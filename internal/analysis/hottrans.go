@@ -1,0 +1,70 @@
+package analysis
+
+// HotTrans is the transitive closure of the hotpath check: the
+// allocation/map-range/log ban a //hot:path directive declares for a
+// function body extends to everything that body can reach through
+// module-local calls — a helper three frames down that calls append
+// still costs an allocation per candidate. The pass walks the call
+// graph breadth-first from every hot root (so the reported chain is a
+// shortest witness), skips callees that carry their own //hot:path
+// marker (the per-function check owns those bodies, and their closure
+// is walked from their own root), and reports each offending
+// construct once with the chain that reaches it:
+//
+//	append in sub.grow allocates per call; hoist the buffer into
+//	per-worker state — reached from //hot:path root hot.Score
+//	(chain hot.Score → sub.Cell → sub.grow)
+//
+// Function values are followed conservatively: a function passed as a
+// value from a hot body may be called by whoever receives it.
+// Existing //lint:allow hotpath waivers are honored at any frame of
+// the chain, as are //lint:allow hottrans directives.
+var HotTrans = &Analyzer{
+	Name:      "hottrans",
+	Doc:       "hot-path purity (no allocation, map iteration or log calls) through the whole call closure of //hot:path roots",
+	Run:       runHotTrans,
+	Wide:      true,
+	AlsoAllow: []string{"hotpath"},
+}
+
+func runHotTrans(p *Pass) {
+	prog := p.Prog
+	reported := map[string]bool{} // offense position → already attributed to some root
+	for _, root := range prog.Funcs {
+		if !root.Hot {
+			continue
+		}
+		type item struct {
+			fi    *FuncInfo
+			chain []Frame
+		}
+		rootFrame := Frame{Func: root.Name, Pos: prog.Fset.Position(root.Decl.Name.Pos())}
+		queue := []item{{root, []Frame{rootFrame}}}
+		visited := map[*FuncInfo]bool{root: true}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, s := range prog.succs(cur.fi, true) {
+				if visited[s.target] {
+					continue
+				}
+				visited[s.target] = true
+				if s.target.Hot {
+					continue // its own root: hotpath checks the body, hottrans its closure
+				}
+				chain := append(append([]Frame{}, cur.chain...),
+					Frame{Func: s.target.Name, Pos: prog.Fset.Position(s.pos)})
+				for _, off := range scanHotOffenses(s.target.Pkg.Info, s.target.Decl.Body) {
+					key := prog.Fset.Position(off.pos).String()
+					if reported[key] {
+						continue
+					}
+					reported[key] = true
+					p.ReportChain(off.pos, chain, "%s in %s%s — reached from //hot:path root %s",
+						off.head, s.target.Name, off.tail, root.Name)
+				}
+				queue = append(queue, item{s.target, chain})
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule materialises a throwaway module on disk and returns its
+// root. Keys are module-relative paths.
+func writeModule(t testing.TB, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func loadModule(t testing.TB, root string) (*Loader, []*Package) {
+	t.Helper()
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader, pkgs
+}
+
+// TestLoaderBuildTags verifies //go:build evaluation: the loader's tag
+// set includes "gc", so a !gc file must be excluded even though it
+// would break the type-check if parsed in.
+func TestLoaderBuildTags(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tagmod\n\ngo 1.22\n",
+		"a.go":   "package a\n\nconst V = 1\n",
+		"a_gc.go": "//go:build gc\n\npackage a\n\n" +
+			"const FromGC = V + 1\n",
+		"a_nogc.go": "//go:build !gc\n\npackage a\n\n" +
+			"const V = 99 // duplicate: would fail the type-check if included\n",
+	})
+	_, pkgs := loadModule(t, root)
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.Files) != 2 {
+		t.Errorf("got %d files, want 2 (the !gc file excluded)", len(pkg.Files))
+	}
+	if pkg.Types.Scope().Lookup("FromGC") == nil {
+		t.Error("gc-tagged file was not loaded")
+	}
+}
+
+// TestLoaderTestPackageMerging verifies the three compilation units a
+// directory can produce: the base package, the in-package test unit
+// (merged with the base files so unexported symbols resolve), and the
+// external _test package.
+func TestLoaderTestPackageMerging(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module merged\n\ngo 1.22\n",
+		"x/x.go": "package x\n\nfunc hidden() int { return 7 }\n\nfunc Exported() int { return hidden() }\n",
+		"x/x_internal_test.go": "package x\n\nimport \"testing\"\n\n" +
+			"func TestHidden(t *testing.T) { if hidden() != 7 { t.Fail() } }\n",
+		"x/x_external_test.go": "package x_test\n\nimport (\n\t\"testing\"\n\n\t\"merged/x\"\n)\n\n" +
+			"func TestExported(t *testing.T) { if x.Exported() != 7 { t.Fail() } }\n",
+	})
+	_, pkgs := loadModule(t, root)
+	var base, intest, xtest *Package
+	for _, p := range pkgs {
+		switch {
+		case !p.ForTest:
+			base = p
+		case p.Types.Name() == "x":
+			intest = p
+		case p.Types.Name() == "x_test":
+			xtest = p
+		}
+	}
+	if base == nil || intest == nil || xtest == nil {
+		t.Fatalf("missing units: base=%v intest=%v xtest=%v", base != nil, intest != nil, xtest != nil)
+	}
+	if len(base.Files) != 1 {
+		t.Errorf("base unit has %d files, want 1 (no _test.go)", len(base.Files))
+	}
+	// The in-package unit resolved hidden() across the merge — reaching
+	// here without a LoadAll error already proves it; double-check the
+	// symbol is visible through the unit's scope.
+	if intest.Types.Scope().Lookup("hidden") == nil {
+		t.Error("in-package test unit did not merge base declarations")
+	}
+}
+
+// TestLoaderSharedTypeIdentity verifies the compile cache: two
+// importers of the same package must see the identical *types.Package,
+// or cross-package assignability (and the call graph built on it)
+// would silently break.
+func TestLoaderSharedTypeIdentity(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":      "module shared\n\ngo 1.22\n",
+		"common/c.go": "package common\n\ntype T struct{ N int }\n",
+		"a/a.go":      "package a\n\nimport \"shared/common\"\n\nfunc A(t common.T) int { return t.N }\n",
+		"b/b.go":      "package b\n\nimport \"shared/common\"\n\nfunc B(t common.T) int { return t.N }\n",
+	})
+	_, pkgs := loadModule(t, root)
+	seen := map[string]bool{}
+	var first *types.Package
+	for _, p := range pkgs {
+		for _, imp := range p.Types.Imports() {
+			if imp.Path() != "shared/common" {
+				continue
+			}
+			seen[p.Path] = true
+			if first == nil {
+				first = imp
+			} else if first != imp {
+				t.Errorf("package %s sees a distinct shared/common instance", p.Path)
+			}
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("expected 2 importers of shared/common, saw %d", len(seen))
+	}
+}
+
+// BenchmarkLoadAll pins the loader's cost over this repository — the
+// dominant cost of a lint run, paid once and shared by every analyzer
+// through the compile cache.
+func BenchmarkLoadAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		loader, err := NewLoader("../..")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := loader.LoadAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildProgram pins the incremental cost of the call-graph
+// engine on top of already-loaded packages: the wide analyzers share
+// one Program per run, so this is paid once regardless of how many
+// interprocedural passes are enabled.
+func BenchmarkBuildProgram(b *testing.B) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildProgram(pkgs)
+	}
+}

@@ -1,0 +1,21 @@
+// Command bench emits a seeded report; its main is a deterministic
+// sink.
+package main
+
+import (
+	"fixture/internal/clock"
+	"fixture/internal/meta"
+	"fixture/internal/pool"
+	"fixture/internal/seed"
+)
+
+func main() {
+	report()
+}
+
+func report() int64 {
+	n := int64(pool.Width())
+	n += clock.Wall()
+	n += int64(len(seed.Draws(42, 3)))
+	return n + meta.Stamp()
+}

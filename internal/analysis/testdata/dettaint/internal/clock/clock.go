@@ -1,0 +1,10 @@
+// Package clock quarantines wall-time reads.
+package clock
+
+import "time"
+
+// Wall carries a pre-existing determinism waiver, which the taint
+// pass honors unchanged.
+func Wall() int64 {
+	return time.Now().UnixNano() //lint:allow determinism wall profiling is quarantined from deterministic output
+}

@@ -1,0 +1,17 @@
+// Package ctrlplane carries the fixture's transition-log sink.
+package ctrlplane
+
+import "math/rand"
+
+// logTransition appends one membership transition; by name it is a
+// control-plane event-log sink.
+func logTransition(log []string, ev string) []string {
+	return append(log, tag(ev))
+}
+
+func tag(ev string) string {
+	if rand.Float64() < 0.5 {
+		return ev + "!"
+	}
+	return ev
+}

@@ -1,0 +1,10 @@
+// Package meta tags reports with build metadata.
+package meta
+
+import "time"
+
+// Stamp is two frames below the report sink; only the taint pass can
+// connect its wall-clock read to main's output.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

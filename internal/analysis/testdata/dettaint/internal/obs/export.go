@@ -1,0 +1,27 @@
+// Package obs holds the fixture's exporter sink; rows arrive through
+// an interface, so reaching the map iteration behind Rows needs
+// assignability-based dispatch.
+package obs
+
+import "io"
+
+// Row is one report line.
+type Row struct {
+	Name string
+	Val  float64
+}
+
+// Source yields rows for the report.
+type Source interface {
+	Rows() []Row
+}
+
+// WriteReport renders every source's rows; as an exported Write* in
+// an obs package it is a deterministic exporter sink.
+func WriteReport(w io.Writer, srcs []Source) {
+	for _, s := range srcs {
+		for _, r := range s.Rows() {
+			io.WriteString(w, r.Name)
+		}
+	}
+}

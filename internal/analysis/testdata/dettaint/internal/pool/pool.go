@@ -1,0 +1,10 @@
+// Package pool sizes worker fleets.
+package pool
+
+import "runtime"
+
+// Width picks the worker count; the waiver documents why the report
+// does not depend on it.
+func Width() int {
+	return runtime.GOMAXPROCS(0) //lint:allow dettaint execution width only; the merged output is width-invariant
+}

@@ -1,0 +1,15 @@
+// Package seed shows the sanctioned path: draws from an explicitly
+// seeded local source are a pure function of the seed.
+package seed
+
+import "math/rand"
+
+// Draws returns n seeded draws.
+func Draws(seed int64, n int) []int {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(100)
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+// Package tab backs the exporter's Source interface with a map.
+package tab
+
+import "fixture/internal/obs"
+
+// Table is a map-backed source.
+type Table map[string]float64
+
+// Rows flattens the table in hash order — the order-sensitive map
+// iteration the exporter's closure must not contain.
+func (t Table) Rows() []obs.Row {
+	var out []obs.Row
+	for k, v := range t {
+		out = append(out, obs.Row{Name: k, Val: v})
+	}
+	return out
+}

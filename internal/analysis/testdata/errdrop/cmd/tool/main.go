@@ -1,0 +1,51 @@
+// Command tool exercises the deferred-writer rules: deferred Close or
+// Flush on a handle opened for writing discards the error that says
+// the bytes never landed.
+package main
+
+import (
+	"bufio"
+	"os"
+)
+
+func main() {
+	if err := writeOut("out.txt"); err != nil {
+		os.Exit(1)
+	}
+	readIn("in.txt")
+	report("dump.txt")
+}
+
+// writeOut discards deferred close/flush errors on writers.
+func writeOut(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	defer bw.Flush()
+	_, err = bw.WriteString("x")
+	return err
+}
+
+// readIn closes a read-only handle: not a writer, exempt.
+func readIn(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	buf := make([]byte, 1)
+	f.Read(buf)
+}
+
+// report tolerates a lost dump by design and says so.
+func report(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close() //lint:allow errdrop best-effort debug dump; loss is acceptable
+	f.WriteString("ok")
+}

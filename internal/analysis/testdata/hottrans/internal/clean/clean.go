@@ -1,0 +1,40 @@
+// Package clean exercises the negative space: pure closures, offenses
+// outside any hot closure, and hot-marked callees that belong to the
+// per-function check.
+package clean
+
+// Fold is hot and reaches only pure arithmetic.
+//
+//hot:path pure fold
+func Fold(pre []float64, x []int) float64 {
+	s := 0.0
+	for _, j := range x {
+		s += at(pre, j)
+	}
+	return s
+}
+
+func at(pre []float64, j int) float64 {
+	return pre[j]
+}
+
+// Unreached allocates but sits on no hot path, so the transitive pass
+// must stay silent about it.
+func Unreached(n int) []float64 {
+	return make([]float64, n)
+}
+
+// MarkedHelper is itself a //hot:path root: its body belongs to the
+// per-function hotpath check, not to callers' closures.
+//
+//hot:path scratch builder, audited separately
+func MarkedHelper() []int {
+	return make([]int, 4)
+}
+
+// CallsMarked reaching MarkedHelper must not re-report its body.
+//
+//hot:path outer loop
+func CallsMarked() int {
+	return len(MarkedHelper())
+}

@@ -1,0 +1,15 @@
+// Package hot declares the fast-path roots.
+package hot
+
+import "fixture/internal/sub"
+
+// Score folds one candidate through the shared cell scorer.
+//
+//hot:path called once per candidate in the search inner loop
+func Score(pre []float64, x []int) float64 {
+	s := 0.0
+	for _, j := range x {
+		s += sub.Cell(pre, j)
+	}
+	return s
+}

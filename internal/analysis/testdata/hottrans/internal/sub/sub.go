@@ -1,0 +1,15 @@
+// Package sub holds helpers the hot root reaches transitively.
+package sub
+
+import "math"
+
+// Cell scores one dimension; it is not hot-marked itself, so only the
+// transitive pass sees its cost from Score's closure.
+func Cell(pre []float64, j int) float64 {
+	w := grow(pre, j)
+	return math.Log(w[0])
+}
+
+func grow(pre []float64, j int) []float64 {
+	return append(pre, float64(j))
+}

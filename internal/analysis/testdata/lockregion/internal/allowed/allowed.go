@@ -1,0 +1,22 @@
+// Package allowed documents the one audited exception, waived at the
+// call-site frame of the chain rather than at the write itself.
+package allowed
+
+import "sync"
+
+// Run lets both goroutines bump the same tail cell.
+func Run(out []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bump(out) //lint:allow lockregion bumps commute and are reconciled by the post-join audit
+		}()
+	}
+	wg.Wait()
+}
+
+func bump(out []float64) {
+	out[0]++
+}

@@ -1,0 +1,36 @@
+// Package bad fans shared state straight into writing helpers.
+package bad
+
+import (
+	"sync"
+
+	"fixture/internal/worker"
+)
+
+// Run spawns workers that all scribble over the same slice through
+// two call frames.
+func Run(vals []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker.Deep(vals)
+		}()
+	}
+	wg.Wait()
+}
+
+// RunShared merges through a cursor no goroutine owns, so the
+// index-ordered shape degrades to a shared write.
+func RunShared(out []float64, idx *int) {
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker.Put(out, *idx)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,51 @@
+// Package clean uses the sanctioned escapes: per-goroutine chunks,
+// index-ordered merges through a helper, and mutex-serialised writes.
+package clean
+
+import (
+	"sync"
+
+	"fixture/internal/worker"
+)
+
+// Chunked gives each goroutine its own slice chunk.
+func Chunked(vals []float64) {
+	var wg sync.WaitGroup
+	n := len(vals) / 4
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker.Fill(vals[w*n : (w+1)*n])
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Merged writes one cell per goroutine through the helper: the
+// index-ordered merge, one call deep.
+func Merged(out []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < len(out); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker.Put(out, w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Serialised locks around the shared write inside the callee.
+func Serialised(out []float64) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker.Locked(&mu, out)
+		}()
+	}
+	wg.Wait()
+}

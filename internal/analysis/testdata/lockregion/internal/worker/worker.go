@@ -1,0 +1,33 @@
+// Package worker holds the helpers the pools fan out to; whether a
+// spawn is safe depends on what these write, which only the
+// interprocedural summaries can see.
+package worker
+
+import "sync"
+
+// Fill writes every cell of out at a loop-local index: a direct write
+// from any caller's perspective.
+func Fill(out []float64) {
+	for i := range out {
+		out[i] = float64(i)
+	}
+}
+
+// Put writes the single cell k of out — the index-ordered merge shape
+// when k is goroutine-local at the call site.
+func Put(out []float64, k int) {
+	out[k] = 1
+}
+
+// Deep hands its slice one frame further down, so the write is two
+// calls below the spawn.
+func Deep(out []float64) {
+	Fill(out)
+}
+
+// Locked serialises its write; the mutex escape clears its summary.
+func Locked(mu *sync.Mutex, out []float64) {
+	mu.Lock()
+	defer mu.Unlock()
+	out[0]++
+}

@@ -1,0 +1,15 @@
+// Package stale carries one live waiver and one rotten one for the
+// stale-waiver audit test.
+package stale
+
+import "time"
+
+// Wall's directive suppresses a real finding: it is in use.
+func Wall() int64 {
+	return time.Now().UnixNano() //lint:allow determinism timing demo for the stale-audit test
+}
+
+// Pure's directive suppresses nothing and must be reported.
+func Pure() int {
+	return 1 //lint:allow determinism this directive suppresses nothing
+}

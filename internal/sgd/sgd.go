@@ -153,6 +153,7 @@ func (p Params) withDefaults() Params {
 		p.MaxIter = 250
 	}
 	if p.Workers == 0 {
+		//lint:allow dettaint sets execution width only; the wavefront trainer is bit-identical at any worker count
 		p.Workers = runtime.GOMAXPROCS(0)
 		if p.Workers > 8 {
 			p.Workers = 8

@@ -135,6 +135,7 @@ type shardProgress struct {
 
 func trainWavefront(entries []obs, p Params, mu float64, f int, q, pc, rowBias, colBias []float64, biasOnly []bool) {
 	workers := p.Workers
+	//lint:allow dettaint caps execution width only; the wavefront schedule is bit-identical at any worker count
 	if mp := runtime.GOMAXPROCS(0); workers > mp {
 		workers = mp
 	}
