@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench chaos fleet ops trace bench-obs bench-decide lint lint-json fmt ci
+.PHONY: build test race vet bench chaos fleet ops trace bench-obs bench-decide scenario bench-scenario lint lint-json fmt ci
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,17 @@ trace:
 		-trace trace/trace.jsonl -chrome trace/trace.chrome.json \
 		-prom trace/metrics.prom -o trace/summary.json
 	$(GO) run ./cmd/trace trace/trace.jsonl
+
+# Validate the declarative scenario library (DESIGN.md §13): every
+# spec must parse, round-trip through the canonical form and compile
+# self-contained.
+scenario:
+	$(GO) run ./cmd/scenario -validate
+
+# Regenerate the seeded scenario benchmark report (EXPERIMENTS.md):
+# the library scenarios not already pinned by the fleet/ops reports.
+bench-scenario:
+	$(GO) run ./cmd/scenario -seed 1 -o BENCH_scenario.json
 
 # Regenerate the seeded decision-loop fast-path audit (EXPERIMENTS.md):
 # per-cell search work counters plus bit-equivalence verdicts against

@@ -2,10 +2,12 @@
 // machines behind a traffic router under one shared power budget and
 // compares routing/arbitration policies across cluster scenarios — a
 // steady backlog, a diurnal swing, a machine degraded by fail-stop
-// core faults, and a datacenter budget squeeze. It emits a JSON fleet
-// report: QoS-met fraction, fleet throughput, worst tail ratio, power
-// and the modeled controller speedup of parallel per-machine
-// scheduling, plus a scaling section over fleet sizes.
+// core faults, and a datacenter budget squeeze. The scenarios are the
+// declarative specs of the same names in specs/, compiled by the
+// scenario engine; the flags override each spec's geometry. It emits
+// a JSON fleet report: QoS-met fraction, fleet throughput, worst tail
+// ratio, power and the modeled controller speedup of parallel
+// per-machine scheduling, plus a scaling section over fleet sizes.
 //
 // Every run is deterministic: a fixed -seed produces a byte-identical
 // report regardless of GOMAXPROCS, because machine stepping merges in
@@ -37,60 +39,13 @@ import (
 
 	"cuttlesys"
 	"cuttlesys/experiments"
+	"cuttlesys/specs"
 )
 
-// scenario is one cluster environment: load and budget patterns plus
-// an optional fault schedule targeting one machine.
-type scenario struct {
-	name   string
-	load   func(slices int) cuttlesys.LoadPattern
-	budget func(slices int) cuttlesys.BudgetPattern
-	// faultMachine receives the events; -1 means no faults.
-	faultMachine int
-	events       []cuttlesys.FaultEvent
-}
-
-// window returns the middle third of a run in seconds.
-func window(slices int) (from, to float64) {
-	span := float64(slices) * cuttlesys.SliceDur
-	return span / 3, 2 * span / 3
-}
-
-func scenarios(load, capFrac float64) []scenario {
-	return []scenario{
-		{
-			name:         "steady",
-			load:         func(int) cuttlesys.LoadPattern { return cuttlesys.ConstantLoad(load) },
-			budget:       func(int) cuttlesys.BudgetPattern { return cuttlesys.ConstantBudget(capFrac) },
-			faultMachine: -1,
-		},
-		{
-			name: "diurnal",
-			load: func(slices int) cuttlesys.LoadPattern {
-				return cuttlesys.DiurnalLoad(load*0.5, math.Min(load*1.25, 0.95), float64(slices)*cuttlesys.SliceDur)
-			},
-			budget:       func(int) cuttlesys.BudgetPattern { return cuttlesys.ConstantBudget(capFrac) },
-			faultMachine: -1,
-		},
-		{
-			name:         "degraded-node",
-			load:         func(int) cuttlesys.LoadPattern { return cuttlesys.ConstantLoad(load) },
-			budget:       func(int) cuttlesys.BudgetPattern { return cuttlesys.ConstantBudget(capFrac) },
-			faultMachine: 1,
-			events: []cuttlesys.FaultEvent{
-				{Kind: cuttlesys.CoreFailStop, Start: 0.3, End: 0.9, Cores: 8, BatchCores: 2},
-			},
-		},
-		{
-			name: "budget-squeeze",
-			load: func(int) cuttlesys.LoadPattern { return cuttlesys.ConstantLoad(load) },
-			budget: func(slices int) cuttlesys.BudgetPattern {
-				from, to := window(slices)
-				return cuttlesys.StepBudget(capFrac, capFrac*0.65, from, to)
-			},
-			faultMachine: -1,
-		},
-	}
+// fleetScenarios names the spec-library scenarios the sweep runs, in
+// report order.
+func fleetScenarios() []string {
+	return []string{"steady", "diurnal", "degraded-node", "budget-squeeze"}
 }
 
 // policy pairs a router with a budget arbiter.
@@ -153,6 +108,24 @@ type Report struct {
 
 func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }
 
+// validateGeometry rejects flag values the engine would only trip
+// over mid-run, with errors naming the flag.
+func validateGeometry(machines, slices int, load, capFrac float64) error {
+	if machines < 1 {
+		return fmt.Errorf("need at least one machine, got -machines %d", machines)
+	}
+	if slices < 1 {
+		return fmt.Errorf("need at least one timeslice, got -slices %d", slices)
+	}
+	if load <= 0 || load > 1 {
+		return fmt.Errorf("-load %v out of (0, 1]", load)
+	}
+	if capFrac <= 0 || capFrac > 1 {
+		return fmt.Errorf("-cap %v out of (0, 1]", capFrac)
+	}
+	return nil
+}
+
 func main() {
 	service := flag.String("service", "xapian", "latency-critical service (TailBench name)")
 	machines := flag.Int("machines", 4, "machines in the fleet")
@@ -166,6 +139,10 @@ func main() {
 	promPath := flag.String("prom", "", "traced mode: write Prometheus metric snapshot to this file")
 	flag.Parse()
 
+	if err := validateGeometry(*machines, *slices, *load, *capFrac); err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+		os.Exit(1)
+	}
 	if *tracePath != "" || *chromePath != "" || *promPath != "" {
 		if err := traced(*service, *machines, *slices, *load, *capFrac, *seed,
 			*tracePath, *chromePath, *promPath, *out); err != nil {
@@ -221,57 +198,44 @@ func traced(service string, machines, slices int, load, capFrac float64, seed ui
 	return cuttlesys.WriteReport(out, cuttlesys.SummarizeTrace(rec.Events(), 0))
 }
 
-// buildFleet assembles n machines running the CuttleSys runtime.
-// SGD runs in deterministic-parallel mode: reconstructions use all
-// available processors yet stay bit-identical to the serial sweep, so
-// the report does not depend on GOMAXPROCS; the fleet's own
-// parallelism is across machines and merges deterministically.
-func buildFleet(service string, n int, seed uint64, pol policy, faultMachine int, events []cuttlesys.FaultEvent) (*cuttlesys.Fleet, error) {
-	lc, err := cuttlesys.AppByName(service)
+// compileSpec loads one spec-library scenario and compiles it against
+// the run's flags; the flags win over the spec's declared geometry.
+// SGD on every machine runs in deterministic-parallel mode:
+// reconstructions use all available processors yet stay bit-identical
+// to the serial sweep, so the report does not depend on GOMAXPROCS.
+func compileSpec(name, service string, machines, slices int, load, capFrac float64, seed uint64) (*cuttlesys.CompiledScenario, error) {
+	src, err := specs.Source(name)
 	if err != nil {
 		return nil, err
 	}
-	_, pool := cuttlesys.SplitTrainTest(1, 16)
-	seeds := cuttlesys.FleetSeeds(seed, n)
-	nodes := make([]cuttlesys.FleetNode, n)
-	for i := 0; i < n; i++ {
-		m := cuttlesys.NewMachine(cuttlesys.MachineSpec{
-			Seed: seeds[i], LC: lc,
-			Batch:          cuttlesys.Mix(seeds[i], pool, 16),
-			Reconfigurable: true,
-		})
-		rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{
-			Seed: seeds[i],
-			SGD:  cuttlesys.SGDParams{Deterministic: true},
-		})
-		nodes[i] = cuttlesys.FleetNode{Machine: m, Scheduler: rt}
-		if i == faultMachine%n && len(events) > 0 {
-			inj, err := cuttlesys.NewFaultSchedule(seeds[i], events...)
-			if err != nil {
-				return nil, err
-			}
-			nodes[i].Injector = inj
-		}
+	sp, err := cuttlesys.ParseScenario(src)
+	if err != nil {
+		return nil, err
 	}
-	return cuttlesys.NewFleet(cuttlesys.FleetConfig{
-		Router: pol.router(), Arbiter: pol.arbiter(),
-	}, nodes...)
+	return cuttlesys.CompileScenario(sp, cuttlesys.ScenarioOptions{
+		Machines: machines, Slices: slices, Service: service,
+		Load: load, Cap: capFrac, Seed: seed, FS: specs.FS,
+	})
 }
 
 func sweep(service string, machines, slices int, load, capFrac float64, seed uint64) (*Report, error) {
-	if machines < 1 {
-		return nil, fmt.Errorf("need at least one machine, got %d", machines)
+	if err := validateGeometry(machines, slices, load, capFrac); err != nil {
+		return nil, err
 	}
 	rep := &Report{
 		Service: service, Machines: machines, Slices: slices,
 		Load: load, Cap: capFrac, Seed: seed,
 	}
-	for _, sc := range scenarios(load, capFrac) {
-		sr := ScenarioReport{Scenario: sc.name}
+	for _, name := range fleetScenarios() {
+		comp, err := compileSpec(name, service, machines, slices, load, capFrac, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		sr := ScenarioReport{Scenario: name}
 		for _, pol := range fleetPolicies() {
-			pr, err := runCell(service, machines, slices, seed, sc, pol)
+			pr, err := runCell(comp, slices, pol)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", sc.name, pol.name, err)
+				return nil, fmt.Errorf("%s/%s: %w", name, pol.name, err)
 			}
 			sr.Policies = append(sr.Policies, pr)
 		}
@@ -279,13 +243,19 @@ func sweep(service string, machines, slices int, load, capFrac float64, seed uin
 	}
 	// Scaling: the controller-side speedup of parallel stepping, from
 	// the schedulers' own charged overheads (deterministic — see
-	// FleetResult.ModeledControllerSpeedup).
+	// FleetResult.ModeledControllerSpeedup). The steady spec recompiled
+	// per fleet size supplies the constant patterns.
 	for _, n := range []int{1, 4, 16} {
-		f, err := buildFleet(service, n, seed, fleetPolicies()[0], -1, nil)
+		comp, err := compileSpec("steady", service, n, 4, load, capFrac, seed)
 		if err != nil {
 			return nil, fmt.Errorf("scaling %d: %w", n, err)
 		}
-		res, err := f.Run(4, cuttlesys.ConstantLoad(load), cuttlesys.ConstantBudget(capFrac))
+		pol := fleetPolicies()[0]
+		f, err := comp.BuildFleet(pol.router(), pol.arbiter())
+		if err != nil {
+			return nil, fmt.Errorf("scaling %d: %w", n, err)
+		}
+		res, err := f.Run(4, comp.LoadPat, comp.BudgetPat)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("scaling %d: %w", n, err)
@@ -298,13 +268,13 @@ func sweep(service string, machines, slices int, load, capFrac float64, seed uin
 	return rep, nil
 }
 
-func runCell(service string, machines, slices int, seed uint64, sc scenario, pol policy) (PolicyReport, error) {
-	f, err := buildFleet(service, machines, seed, pol, sc.faultMachine, sc.events)
+func runCell(comp *cuttlesys.CompiledScenario, slices int, pol policy) (PolicyReport, error) {
+	f, err := comp.BuildFleet(pol.router(), pol.arbiter())
 	if err != nil {
 		return PolicyReport{}, err
 	}
 	defer f.Close()
-	res, err := f.Run(slices, sc.load(slices), sc.budget(slices))
+	res, err := f.Run(slices, comp.LoadPat, comp.BudgetPat)
 	if err != nil {
 		return PolicyReport{}, err
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -46,20 +47,20 @@ func TestSweepDeterministic(t *testing.T) {
 	if err := json.Unmarshal(a, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) != len(scenarios(0.7, 0.65)) {
-		t.Fatalf("%d scenarios in report, want %d", len(rep.Results), len(scenarios(0.7, 0.65)))
+	if len(rep.Results) != len(fleetScenarios()) {
+		t.Fatalf("%d scenarios in report, want %d", len(rep.Results), len(fleetScenarios()))
 	}
 
 	// The report must enumerate scenarios and policies in declaration
 	// order — the sweep iterates slices, never maps, so the layout of
 	// the JSON is part of the byte-stability contract.
-	for i, sc := range scenarios(0.7, 0.65) {
-		if rep.Results[i].Scenario != sc.name {
-			t.Errorf("result %d is %q, want %q (declaration order)", i, rep.Results[i].Scenario, sc.name)
+	for i, name := range fleetScenarios() {
+		if rep.Results[i].Scenario != name {
+			t.Errorf("result %d is %q, want %q (declaration order)", i, rep.Results[i].Scenario, name)
 		}
 		for j, pol := range fleetPolicies() {
 			if rep.Results[i].Policies[j].Policy != pol.name {
-				t.Errorf("%s policy %d is %q, want %q (declaration order)", sc.name, j, rep.Results[i].Policies[j].Policy, pol.name)
+				t.Errorf("%s policy %d is %q, want %q (declaration order)", name, j, rep.Results[i].Policies[j].Policy, pol.name)
 			}
 		}
 	}
@@ -110,5 +111,36 @@ func TestReferenceReportUnchanged(t *testing.T) {
 	got = append(got, '\n')
 	if !bytes.Equal(got, want) {
 		t.Fatal("regenerated report differs from BENCH_fleet.json; run `make fleet` and review the diff")
+	}
+}
+
+// TestSweepRejectsBadGeometry covers the flag-validation paths: the
+// sweep must refuse impossible geometry with an error naming the flag
+// instead of tripping over it machines deep in the engine.
+func TestSweepRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		name             string
+		machines, slices int
+		load, capFrac    float64
+		wantSub          string
+	}{
+		{"zero machines", 0, 12, 0.7, 0.65, "-machines"},
+		{"negative machines", -3, 12, 0.7, 0.65, "-machines"},
+		{"zero slices", 4, 0, 0.7, 0.65, "-slices"},
+		{"zero load", 4, 12, 0, 0.65, "-load"},
+		{"load above one", 4, 12, 1.2, 0.65, "-load"},
+		{"negative cap", 4, 12, 0.7, -0.1, "-cap"},
+		{"cap above one", 4, 12, 0.7, 1.01, "-cap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := sweep("xapian", tc.machines, tc.slices, tc.load, tc.capFrac, 1)
+			if err == nil {
+				t.Fatal("sweep accepted bad geometry")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not name %s", err, tc.wantSub)
+			}
+		})
 	}
 }

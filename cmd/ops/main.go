@@ -3,7 +3,9 @@
 // operational incidents and emits the flight-recorder evidence an
 // operator would review afterwards — the membership log, every health
 // state transition, the serving floor and the load the router had to
-// shed.
+// shed. The drills are the declarative specs of the same names in
+// specs/, compiled by the scenario engine; the flags override each
+// spec's geometry.
 //
 // The drills:
 //
@@ -14,10 +16,9 @@
 //     through probation to healthy.
 //   - brownout: the cluster budget is squeezed for the middle third of
 //     the run while one machine carries a composed fault — a standing
-//     fail-stop/fail-slow schedule layered (ComposeFaults) with a
-//     drill-scoped budget-drop incident. The machine flaps through
-//     quarantine and probation and is re-admitted once the fault
-//     window closes.
+//     fail-stop/fail-slow schedule layered with a salted drill-scoped
+//     budget-drop incident. The machine flaps through quarantine and
+//     probation and is re-admitted once the fault window closes.
 //   - surge: offered load steps up to near saturation and back. The
 //     autoscaler grows the fleet under its power-headroom gate, then
 //     drains the extra machines once the surge passes — scale-down
@@ -41,97 +42,13 @@ import (
 	"os"
 
 	"cuttlesys"
+	"cuttlesys/specs"
 )
 
-// machineFault assigns an injector factory to one machine of the
-// initial fleet; the target index wraps modulo the fleet size, so the
-// drills stay meaningful for small -machines smoke runs.
-type machineFault struct {
-	machine int
-	mk      func(seed uint64) (cuttlesys.FaultInjector, error)
-}
-
-// drill is one operational incident: load and budget patterns, the
-// fault injectors riding on specific machines, and the health/scale
-// policies the control plane runs under.
-type drill struct {
-	name   string
-	load   func(span float64) cuttlesys.LoadPattern
-	budget func(span float64) cuttlesys.BudgetPattern
-	faults []machineFault
-	health cuttlesys.HealthConfig
-	// scale configures the autoscaler; the Provision factory is filled
-	// in by runDrill.
-	scale          cuttlesys.ScaleConfig
-	replaceEvicted bool
-}
-
-func drills(machines int) []drill {
-	return []drill{
-		{
-			name:   "failover",
-			load:   func(float64) cuttlesys.LoadPattern { return cuttlesys.ConstantLoad(0.4) },
-			budget: func(float64) cuttlesys.BudgetPattern { return cuttlesys.ConstantBudget(0.8) },
-			faults: []machineFault{
-				{machine: 1, mk: func(seed uint64) (cuttlesys.FaultInjector, error) {
-					// Fail-stop most of the LC pool at t=0.5, forever: the
-					// machine cannot recover, so quarantine must escalate to
-					// drain, eviction and replacement.
-					return cuttlesys.NewFaultSchedule(seed, cuttlesys.FaultEvent{
-						Kind: cuttlesys.CoreFailStop, Start: 0.5, End: math.Inf(1), Cores: 6, BatchCores: 2,
-					})
-				}},
-			},
-			replaceEvicted: true,
-		},
-		{
-			name: "brownout",
-			load: func(float64) cuttlesys.LoadPattern { return cuttlesys.ConstantLoad(0.4) },
-			budget: func(span float64) cuttlesys.BudgetPattern {
-				return cuttlesys.StepBudget(0.8, 0.55, span/3, 2*span/3)
-			},
-			faults: []machineFault{
-				{machine: 2, mk: func(seed uint64) (cuttlesys.FaultInjector, error) {
-					// A standing fault schedule — a bounded fail-stop window
-					// with a fail-slow tail — composed with a drill-scoped
-					// budget-drop incident: disruptions layer through
-					// ComposeFaults exactly as a machine's chaos schedule
-					// would compose with an operator's drill. The fault
-					// window clears mid-run, so the machine must flap through
-					// quarantine, be released on probation and prove itself
-					// back to healthy.
-					standing, err := cuttlesys.NewFaultSchedule(seed,
-						cuttlesys.FaultEvent{
-							Kind: cuttlesys.CoreFailStop, Start: 0.4, End: 1.3, Cores: 5,
-						},
-						cuttlesys.FaultEvent{
-							Kind: cuttlesys.CoreFailSlow, Start: 0.4, End: 1.3, Cores: 4, Factor: 0.6,
-						})
-					if err != nil {
-						return nil, err
-					}
-					incident, err := cuttlesys.NewFaultSchedule(seed^0x5eed, cuttlesys.FaultEvent{
-						Kind: cuttlesys.BudgetDrop, Start: 1.1, End: 1.7, Factor: 0.7,
-					})
-					if err != nil {
-						return nil, err
-					}
-					return cuttlesys.ComposeFaults(standing, incident), nil
-				}},
-			},
-		},
-		{
-			name: "surge",
-			load: func(span float64) cuttlesys.LoadPattern {
-				return cuttlesys.StepLoad(0.2, 0.95, span/4, 3*span/4)
-			},
-			budget: func(float64) cuttlesys.BudgetPattern { return cuttlesys.ConstantBudget(0.8) },
-			scale: cuttlesys.ScaleConfig{
-				UpAfter: 2, DownAfter: 3, Cooldown: 4,
-				MinMachines: machines, MaxMachines: machines + 2,
-			},
-		},
-	}
+// opsDrills names the spec-library drills the suite runs, in report
+// order.
+func opsDrills() []string {
+	return []string{"failover", "brownout", "surge"}
 }
 
 // MembershipEntry is one membership-log record (join or evict).
@@ -188,6 +105,24 @@ type Report struct {
 
 func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }
 
+// validateGeometry rejects flag values the drills would only trip
+// over mid-run, with errors naming the flag.
+func validateGeometry(machines, slices int, load, capFrac float64) error {
+	if machines < 2 {
+		return fmt.Errorf("drills need at least two machines, got -machines %d", machines)
+	}
+	if slices < 1 {
+		return fmt.Errorf("need at least one timeslice, got -slices %d", slices)
+	}
+	if load <= 0 || load > 1 {
+		return fmt.Errorf("-load %v out of (0, 1]", load)
+	}
+	if capFrac <= 0 || capFrac > 1 {
+		return fmt.Errorf("-cap %v out of (0, 1]", capFrac)
+	}
+	return nil
+}
+
 func main() {
 	service := flag.String("service", "xapian", "latency-critical service (TailBench name)")
 	machines := flag.Int("machines", 4, "initial machines in the fleet")
@@ -210,81 +145,52 @@ func main() {
 }
 
 func suite(service string, machines, slices int, load, capFrac float64, seed uint64) (*Report, error) {
-	if machines < 2 {
-		return nil, fmt.Errorf("drills need at least two machines, got %d", machines)
+	if err := validateGeometry(machines, slices, load, capFrac); err != nil {
+		return nil, err
 	}
 	rep := &Report{
 		Service: service, Machines: machines, Slices: slices,
 		Load: load, Cap: capFrac, Seed: seed,
 	}
-	for _, d := range drills(machines) {
-		dr, err := runDrill(service, machines, slices, load, capFrac, seed, d)
+	for _, name := range opsDrills() {
+		dr, err := runDrill(name, service, machines, slices, load, capFrac, seed)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", d.name, err)
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		rep.Drills = append(rep.Drills, dr)
 	}
 	return rep, nil
 }
 
-// runDrill assembles a managed fleet for one drill and runs it. Every
-// machine — initial or provisioned later — runs the full CuttleSys
-// runtime with deterministic-parallel SGD.
-func runDrill(service string, machines, slices int, load, capFrac float64, seed uint64, d drill) (DrillReport, error) {
-	lc, err := cuttlesys.AppByName(service)
+// runDrill compiles one drill spec against the flags and runs its
+// managed fleet. Every machine — initial or provisioned later — runs
+// the full CuttleSys runtime with deterministic-parallel SGD.
+func runDrill(name, service string, machines, slices int, load, capFrac float64, seed uint64) (DrillReport, error) {
+	src, err := specs.Source(name)
 	if err != nil {
 		return DrillReport{}, err
 	}
-	_, pool := cuttlesys.SplitTrainTest(1, 16)
-	node := func(seed uint64) cuttlesys.FleetNode {
-		m := cuttlesys.NewMachine(cuttlesys.MachineSpec{
-			Seed: seed, LC: lc,
-			Batch:          cuttlesys.Mix(seed, pool, 8),
-			Reconfigurable: true,
-		})
-		rt := cuttlesys.NewRuntime(m, cuttlesys.RuntimeParams{
-			Seed: seed,
-			SGD:  cuttlesys.SGDParams{Deterministic: true},
-		})
-		return cuttlesys.FleetNode{Machine: m, Scheduler: rt}
+	sp, err := cuttlesys.ParseScenario(src)
+	if err != nil {
+		return DrillReport{}, err
 	}
-
-	seeds := cuttlesys.FleetSeeds(seed, machines)
-	nodes := make([]cuttlesys.FleetNode, machines)
-	for i := 0; i < machines; i++ {
-		nodes[i] = node(seeds[i])
+	comp, err := cuttlesys.CompileScenario(sp, cuttlesys.ScenarioOptions{
+		Machines: machines, Slices: slices, Service: service,
+		Load: load, Cap: capFrac, Seed: seed, FS: specs.FS,
+	})
+	if err != nil {
+		return DrillReport{}, err
 	}
-	for _, mf := range d.faults {
-		i := mf.machine % machines
-		inj, err := mf.mk(seeds[i])
-		if err != nil {
-			return DrillReport{}, err
-		}
-		nodes[i].Injector = inj
-	}
-
-	scale := d.scale
-	scale.Seed = seed ^ 0x0b5e55ed
-	scale.ReplaceEvicted = d.replaceEvicted
-	scale.Provision = func(id int, seed uint64) (cuttlesys.FleetNode, error) {
-		return node(seed), nil
-	}
-	cp, err := cuttlesys.NewControlPlane(cuttlesys.ControlPlaneConfig{
-		Fleet:  cuttlesys.FleetConfig{Router: cuttlesys.UniformRouter{}, Arbiter: cuttlesys.ProportionalArbiter{}},
-		Health: d.health,
-		Scale:  scale,
-	}, nodes...)
+	cp, err := comp.BuildControlPlane(nil, nil)
 	if err != nil {
 		return DrillReport{}, err
 	}
 	defer cp.Close()
-
-	span := float64(slices) * cuttlesys.SliceDur
-	res, err := cp.Run(slices, d.load(span), d.budget(span))
+	res, err := cp.Run(slices, comp.LoadPat, comp.BudgetPat)
 	if err != nil {
 		return DrillReport{}, err
 	}
-	return summarize(d.name, res), nil
+	return summarize(name, res), nil
 }
 
 func summarize(name string, res *cuttlesys.ControlPlaneResult) DrillReport {

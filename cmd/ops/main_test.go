@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -50,13 +51,13 @@ func TestSuiteDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Drills appear in declaration order — the suite iterates the drill
-	// slice, never a map, as part of the byte-stability contract.
-	if len(rep.Drills) != len(drills(3)) {
-		t.Fatalf("%d drills in report, want %d", len(rep.Drills), len(drills(3)))
+	// list, never a map, as part of the byte-stability contract.
+	if len(rep.Drills) != len(opsDrills()) {
+		t.Fatalf("%d drills in report, want %d", len(rep.Drills), len(opsDrills()))
 	}
-	for i, d := range drills(3) {
-		if rep.Drills[i].Drill != d.name {
-			t.Errorf("drill %d is %q, want %q (declaration order)", i, rep.Drills[i].Drill, d.name)
+	for i, name := range opsDrills() {
+		if rep.Drills[i].Drill != name {
+			t.Errorf("drill %d is %q, want %q (declaration order)", i, rep.Drills[i].Drill, name)
 		}
 	}
 }
@@ -148,5 +149,34 @@ func TestReferenceReportUnchanged(t *testing.T) {
 	got = append(got, '\n')
 	if !bytes.Equal(got, want) {
 		t.Fatal("regenerated report differs from BENCH_ops.json; run `make ops` and review the diff")
+	}
+}
+
+// TestSuiteRejectsBadGeometry covers the flag-validation paths: the
+// suite must refuse impossible geometry with an error naming the flag.
+func TestSuiteRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		name             string
+		machines, slices int
+		load, capFrac    float64
+		wantSub          string
+	}{
+		{"one machine", 1, 30, 0.4, 0.8, "-machines"},
+		{"zero slices", 4, 0, 0.4, 0.8, "-slices"},
+		{"zero load", 4, 30, 0, 0.8, "-load"},
+		{"load above one", 4, 30, 1.5, 0.8, "-load"},
+		{"zero cap", 4, 30, 0.4, 0, "-cap"},
+		{"cap above one", 4, 30, 0.4, 2, "-cap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := suite("xapian", tc.machines, tc.slices, tc.load, tc.capFrac, 7)
+			if err == nil {
+				t.Fatal("suite accepted bad geometry")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not name %s", err, tc.wantSub)
+			}
+		})
 	}
 }

@@ -1,0 +1,342 @@
+// Command scenario is the spec-library front door: it validates,
+// describes and runs the declarative workload specs of DESIGN.md §13.
+// A spec file plus a seed fully determines a fleet run — the engine
+// compiles the spec's traffic clauses (deterministic envelopes,
+// stochastic arrival processes, CSV trace replay), fault clauses and
+// control clauses, then drives the bare fleet or the managed control
+// plane the spec declares.
+//
+// Modes:
+//
+//   - scenario -validate [spec ...]: parse, round-trip and compile
+//     each spec (paths on disk, or library names; all embedded library
+//     specs when none are given). Exits non-zero on the first error.
+//   - scenario -describe <spec>: print the canonical rendering, the
+//     spec hash and the compiled summary (geometry, per-client mean
+//     offered fractions, driver).
+//   - scenario -run <spec> [flags]: run one spec and emit its JSON
+//     report.
+//   - scenario [flags]: run the benchmark suite — the library
+//     scenarios beyond the fleet/ops sweeps — and emit the
+//     BENCH_scenario.json report.
+//
+// Geometry flags default to 0 ("defer to the spec"); a non-zero flag
+// overrides the spec's declaration. Every run is deterministic: all
+// stochastic draws happen at compile time from streams keyed by the
+// seed XOR the spec hash, so a fixed -seed produces a byte-identical
+// report at any GOMAXPROCS.
+//
+// Usage:
+//
+//	scenario [-seed 1] [-machines 0] [-slices 0] [-service ""]
+//	         [-load 0] [-cap 0] [-o report.json]
+//	scenario -validate specs/*.spec
+//	scenario -describe flash-crowd
+//	scenario -run trace-replay -seed 3
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cuttlesys"
+	"cuttlesys/specs"
+)
+
+// benchScenarios names the library specs the benchmark suite runs, in
+// report order: the scenarios not already covered byte-for-byte by the
+// cmd/fleet and cmd/ops reference reports.
+func benchScenarios() []string {
+	return []string{"flash-crowd", "load-shift-storm", "correlated-brownout", "trace-replay"}
+}
+
+// ClientReport is one traffic clause's compiled summary.
+type ClientReport struct {
+	Client   string  `json:"client"`
+	SLO      string  `json:"slo"`
+	MeanFrac float64 `json:"meanFrac"`
+}
+
+// ControlReport is the managed-run extra: the control plane's
+// flight-recorder totals.
+type ControlReport struct {
+	ShedQPS      float64 `json:"shedQPS"`
+	MinServing   int     `json:"minServing"`
+	PeakMachines int     `json:"peakMachines"`
+	Joins        int     `json:"joins"`
+	Evictions    int     `json:"evictions"`
+}
+
+// ScenarioReport is one spec's run outcome.
+type ScenarioReport struct {
+	Scenario      string         `json:"scenario"`
+	Hash          string         `json:"hash"`
+	Managed       bool           `json:"managed"`
+	Machines      int            `json:"machines"`
+	Slices        int            `json:"slices"`
+	QoSMetFrac    float64        `json:"qosMetFrac"`
+	QoSViolations int            `json:"qosViolations"`
+	WorstP99Ratio float64        `json:"worstP99Ratio"`
+	TotalInstrB   float64        `json:"totalInstrB"`
+	MeanPowerW    float64        `json:"meanPowerW"`
+	Clients       []ClientReport `json:"clients"`
+	Control       *ControlReport `json:"control,omitempty"`
+}
+
+// Report is the full benchmark suite.
+type Report struct {
+	Seed      uint64           `json:"seed"`
+	Scenarios []ScenarioReport `json:"scenarios"`
+}
+
+func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }
+
+// overrides carries the geometry flags; zero fields defer to each
+// spec's own declarations.
+type overrides struct {
+	Machines int
+	Slices   int
+	Service  string
+	Load     float64
+	Cap      float64
+	Seed     uint64
+}
+
+// validateOverrides rejects override values the engine would only trip
+// over mid-compile, with errors naming the flag. Zero means "defer to
+// the spec" and is always accepted.
+func validateOverrides(o overrides) error {
+	if o.Machines < 0 {
+		return fmt.Errorf("-machines %d must be positive (0 defers to the spec)", o.Machines)
+	}
+	if o.Slices < 0 {
+		return fmt.Errorf("-slices %d must be positive (0 defers to the spec)", o.Slices)
+	}
+	if o.Load < 0 || o.Load > 1 {
+		return fmt.Errorf("-load %v out of (0, 1] (0 defers to the spec)", o.Load)
+	}
+	if o.Cap < 0 || o.Cap > 1 {
+		return fmt.Errorf("-cap %v out of (0, 1] (0 defers to the spec)", o.Cap)
+	}
+	return nil
+}
+
+func main() {
+	validate := flag.Bool("validate", false, "validate the given spec files (or the whole library) and exit")
+	describe := flag.Bool("describe", false, "print the canonical rendering and compiled summary of one spec")
+	runOnly := flag.Bool("run", false, "run one spec and emit its JSON report")
+	machines := flag.Int("machines", 0, "machine count override (0 = spec value)")
+	slices := flag.Int("slices", 0, "timeslice count override (0 = spec value)")
+	service := flag.String("service", "", "latency-critical service override (empty = spec value)")
+	load := flag.Float64("load", 0, "offered load fraction override (0 = spec value)")
+	capFrac := flag.Float64("cap", 0, "power cap fraction override (0 = spec value)")
+	seed := flag.Uint64("seed", 1, "run seed (stochastic arrivals key off seed XOR spec hash)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	o := overrides{
+		Machines: *machines, Slices: *slices, Service: *service,
+		Load: *load, Cap: *capFrac, Seed: *seed,
+	}
+	if err := runMain(*validate, *describe, *runOnly, o, flag.Args(), *out); err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runMain(validate, describe, runOnly bool, o overrides, args []string, out string) error {
+	if err := validateOverrides(o); err != nil {
+		return err
+	}
+	switch {
+	case validate:
+		return validateSpecs(args, os.Stdout)
+	case describe:
+		if len(args) != 1 {
+			return fmt.Errorf("-describe takes exactly one spec, got %d", len(args))
+		}
+		return describeSpec(args[0], o, os.Stdout)
+	case runOnly:
+		if len(args) != 1 {
+			return fmt.Errorf("-run takes exactly one spec, got %d", len(args))
+		}
+		sr, err := runSpec(args[0], o)
+		if err != nil {
+			return err
+		}
+		return cuttlesys.WriteReport(out, sr)
+	}
+	rep, err := bench(o)
+	if err != nil {
+		return err
+	}
+	return cuttlesys.WriteReport(out, rep)
+}
+
+// loadSpec resolves one spec argument: a readable path on disk wins
+// (trace files then resolve relative to the spec's directory), else
+// the argument names an embedded library spec.
+func loadSpec(arg string) (*cuttlesys.Scenario, fs.FS, error) {
+	if data, err := os.ReadFile(arg); err == nil {
+		sp, perr := cuttlesys.ParseScenario(data)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("%s: %w", arg, perr)
+		}
+		dir := filepath.Dir(arg)
+		if dir == "" {
+			dir = "."
+		}
+		return sp, os.DirFS(dir), nil
+	}
+	name := strings.TrimSuffix(filepath.Base(arg), ".spec")
+	src, err := specs.Source(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: not a readable file and not a library spec: %w", arg, err)
+	}
+	sp, err := cuttlesys.ParseScenario(src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return sp, specs.FS, nil
+}
+
+// compileSpec resolves and compiles one spec argument against the
+// geometry overrides.
+func compileSpec(arg string, o overrides) (*cuttlesys.CompiledScenario, error) {
+	sp, fsys, err := loadSpec(arg)
+	if err != nil {
+		return nil, err
+	}
+	return cuttlesys.CompileScenario(sp, cuttlesys.ScenarioOptions{
+		Machines: o.Machines, Slices: o.Slices, Service: o.Service,
+		Load: o.Load, Cap: o.Cap, Seed: o.Seed, FS: fsys,
+	})
+}
+
+// validateSpecs parses, round-trips and compiles every requested spec
+// (the whole embedded library when args is empty), failing on the
+// first broken one. Compiling with zero overrides proves each library
+// spec is self-contained: geometry, arrival processes, fault targets
+// and trace references all resolve without flags.
+func validateSpecs(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		args = specs.Names()
+	}
+	for _, arg := range args {
+		sp, fsys, err := loadSpec(arg)
+		if err != nil {
+			return err
+		}
+		canon := cuttlesys.FormatScenario(sp)
+		again, err := cuttlesys.ParseScenario(canon)
+		if err != nil {
+			return fmt.Errorf("%s: canonical form does not re-parse: %w", sp.Name, err)
+		}
+		if got := cuttlesys.FormatScenario(again); !bytes.Equal(got, canon) {
+			return fmt.Errorf("%s: canonical form is not a fixed point", sp.Name)
+		}
+		if _, err := cuttlesys.CompileScenario(sp, cuttlesys.ScenarioOptions{Seed: 1, FS: fsys}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ok %s (%016x)\n", sp.Name, cuttlesys.ScenarioHash(sp))
+	}
+	fmt.Fprintf(w, "validated %d spec(s)\n", len(args))
+	return nil
+}
+
+// describeSpec prints the canonical rendering followed by the
+// compiled summary: what one seed turns the spec into.
+func describeSpec(arg string, o overrides, w io.Writer) error {
+	comp, err := compileSpec(arg, o)
+	if err != nil {
+		return err
+	}
+	w.Write(cuttlesys.FormatScenario(comp.Spec))
+	fmt.Fprintf(w, "\n# hash %016x seed %d\n", comp.Hash, comp.Seed)
+	driver := "bare fleet"
+	if comp.Managed {
+		driver = "managed control plane"
+	}
+	fmt.Fprintf(w, "# %s: %d machines x %d slices, service %s, load %v, cap %v\n",
+		driver, comp.Machines, comp.Slices, comp.Service, comp.Load, comp.Cap)
+	for i := range comp.Clients {
+		cl := &comp.Clients[i]
+		fmt.Fprintf(w, "# client %s (%s): mean offered fraction %v\n",
+			cl.Name, cl.SLO, round4(cl.MeanFrac))
+	}
+	return nil
+}
+
+// runSpec compiles and drives one spec, summarising the run.
+func runSpec(arg string, o overrides) (ScenarioReport, error) {
+	comp, err := compileSpec(arg, o)
+	if err != nil {
+		return ScenarioReport{}, err
+	}
+	res, err := comp.Run()
+	if err != nil {
+		return ScenarioReport{}, fmt.Errorf("%s: %w", comp.Spec.Name, err)
+	}
+	sr := ScenarioReport{
+		Scenario:      comp.Spec.Name,
+		Hash:          fmt.Sprintf("%016x", comp.Hash),
+		Managed:       comp.Managed,
+		Machines:      comp.Machines,
+		Slices:        comp.Slices,
+		QoSMetFrac:    round4(res.Fleet.QoSMetFraction()),
+		QoSViolations: res.Fleet.QoSViolations(),
+		WorstP99Ratio: round4(res.Fleet.WorstP99Ratio()),
+		TotalInstrB:   round4(res.Fleet.TotalInstrB()),
+		MeanPowerW:    round4(res.Fleet.MeanPowerW()),
+	}
+	for i := range comp.Clients {
+		cl := &comp.Clients[i]
+		sr.Clients = append(sr.Clients, ClientReport{
+			Client: cl.Name, SLO: cl.SLO, MeanFrac: round4(cl.MeanFrac),
+		})
+	}
+	if res.Control != nil {
+		cr := &ControlReport{MinServing: -1}
+		shed := 0.0
+		for _, rec := range res.Control.Slices {
+			shed += rec.UnroutedQPS
+			if cr.MinServing < 0 || rec.Serving < cr.MinServing {
+				cr.MinServing = rec.Serving
+			}
+			if len(rec.Members) > cr.PeakMachines {
+				cr.PeakMachines = len(rec.Members)
+			}
+		}
+		cr.ShedQPS = round4(shed)
+		for _, ev := range res.Control.Membership {
+			if ev.Event == "join" {
+				cr.Joins++
+			} else {
+				cr.Evictions++
+			}
+		}
+		sr.Control = cr
+	}
+	return sr, nil
+}
+
+// bench runs the benchmark suite over the library scenarios not
+// already pinned by the fleet and ops reference reports.
+func bench(o overrides) (*Report, error) {
+	rep := &Report{Seed: o.Seed}
+	for _, name := range benchScenarios() {
+		sr, err := runSpec(name, o)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, sr)
+	}
+	return rep, nil
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package main
+
+// raceEnabled is false in a build without the race detector.
+const raceEnabled = false

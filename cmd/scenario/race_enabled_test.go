@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that this binary was built with -race: the full
+// reference sweeps are ~15x slower under the detector and exceed the
+// test timeout, and the parallel merge they exercise is race-tested
+// cheaply in internal/fleet.
+const raceEnabled = true

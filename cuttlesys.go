@@ -40,6 +40,7 @@ import (
 	"cuttlesys/internal/fleet"
 	"cuttlesys/internal/harness"
 	"cuttlesys/internal/obs"
+	"cuttlesys/internal/scenario"
 	"cuttlesys/internal/sgd"
 	"cuttlesys/internal/sim"
 	"cuttlesys/internal/workload"
@@ -410,3 +411,43 @@ func RunTraced(m *Machine, s MultiScheduler, slices int, loads []LoadPattern, bu
 // two-space-indented JSON plus a trailing newline — to path, or to
 // stdout when path is empty. Every cmd/ report funnels through it.
 func WriteReport(path string, v any) error { return obs.WriteReport(path, v) }
+
+// Scenario is a parsed declarative scenario spec: one spec file plus
+// one seed fully determines a fleet run (internal/scenario,
+// DESIGN.md §13).
+type Scenario = scenario.Spec
+
+// ScenarioOptions completes a spec into a concrete run; set fields
+// override the spec's own geometry.
+type ScenarioOptions = scenario.Options
+
+// CompiledScenario is a spec resolved against its options: lowered
+// load/budget patterns plus fleet and control-plane builders.
+type CompiledScenario = scenario.Compiled
+
+// ScenarioResult is one scenario run: the fleet result plus the
+// control-plane record when the scenario is managed.
+type ScenarioResult = scenario.Result
+
+// ParseScenario reads one spec from its textual form, applying every
+// documented default and validating the result.
+func ParseScenario(src []byte) (*Scenario, error) { return scenario.Parse(src) }
+
+// FormatScenario renders the canonical textual form of a spec;
+// ParseScenario(FormatScenario(s)) reproduces s exactly.
+func FormatScenario(s *Scenario) []byte { return scenario.Format(s) }
+
+// ScenarioHash is the spec's identity: FNV-1a 64 over its canonical
+// form, the value that keys every stochastic arrival stream.
+func ScenarioHash(s *Scenario) uint64 { return scenario.Hash(s) }
+
+// CompileScenario lowers a validated spec against its run options.
+func CompileScenario(s *Scenario, opt ScenarioOptions) (*CompiledScenario, error) {
+	return scenario.Compile(s, opt)
+}
+
+// RouterByName builds a fresh fleet router from its policy name.
+func RouterByName(name string) (Router, error) { return fleet.RouterByName(name) }
+
+// ArbiterByName builds a budget arbiter from its policy name.
+func ArbiterByName(name string) (Arbiter, error) { return fleet.ArbiterByName(name) }

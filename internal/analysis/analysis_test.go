@@ -213,3 +213,51 @@ func TestAllowDirectiveForOtherCheckIsNotUnknown(t *testing.T) {
 		}
 	}
 }
+
+// TestScenarioGolden extends the determinism suite to the scenario
+// engine: the fixture under testdata/scenario models internal/scenario
+// with its exported Parse*/Compile*/Resample* functions as dettaint
+// sinks and a global-rand draw for seedflow. It is not named after a
+// single analyzer, so TestGolden cannot host it; the run combines both
+// analyzers the engine is covered by.
+func TestScenarioGolden(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "scenario"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkgs, []*Analyzer{
+		analyzerByName(t, "dettaint"), analyzerByName(t, "seedflow"),
+	})
+	var buf bytes.Buffer
+	Format(&buf, root, diags, true)
+	got := buf.String()
+	wantBytes, err := os.ReadFile(filepath.Join("testdata", "scenario", "want.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := string(wantBytes); got != want {
+		t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	var violations, allowed int
+	for _, line := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		if strings.Contains(line, "(allowed: ") {
+			allowed++
+		} else if line != "" {
+			violations++
+		}
+	}
+	if violations < 3 {
+		t.Errorf("scenario fixture caught %d violations, want the rand chain, the wall-clock chain and the seedflow import", violations)
+	}
+	if allowed == 0 {
+		t.Error("scenario fixture honored no //lint:allow directive")
+	}
+}

@@ -22,8 +22,10 @@ import (
 // runtime.GOMAXPROCS / runtime.NumCPU, and order-sensitive map
 // iteration (same classifier the narrow check uses). Sinks: the main
 // function of every command under cmd/* (they write the BENCH_*.json
-// reports), exported Write*/Export* functions in internal/obs, and
-// ctrlplane's membership/transition/log functions. Each source is
+// reports), exported Write*/Export* functions in internal/obs,
+// exported Parse*/Compile*/Resample* functions in internal/scenario
+// (a compiled spec must be a pure function of spec bytes and seed),
+// and ctrlplane's membership/transition/log functions. Each source is
 // reported once, attributed to the first sink (in source order) whose
 // closure reaches it. Waivers are honored at any chain frame, and
 // //lint:allow determinism directives keep covering the same code —
@@ -104,6 +106,10 @@ func taintSinkLabel(fi *FuncInfo) (string, bool) {
 	case hasPathSegment(path, "internal/obs") && fi.Fn.Exported() &&
 		(strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Export")):
 		return "deterministic exporter " + fi.pathName(), true
+	case hasPathSegment(path, "internal/scenario") && fi.Fn.Exported() &&
+		(strings.HasPrefix(name, "Parse") || strings.HasPrefix(name, "Compile") ||
+			strings.HasPrefix(name, "Resample")):
+		return "scenario compiler " + fi.pathName(), true
 	case hasPathSegment(path, "internal/ctrlplane"):
 		low := strings.ToLower(name)
 		if strings.Contains(low, "log") || strings.Contains(low, "transition") || strings.Contains(low, "membership") {

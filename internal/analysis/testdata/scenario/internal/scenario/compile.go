@@ -1,0 +1,24 @@
+// Package scenario mirrors the repo's spec compiler. Its exported
+// Parse*/Compile*/Resample* functions promise output that is a pure
+// function of the spec bytes and the seed, so they are dettaint
+// sinks; the package is also subject to seedflow's single-origin
+// randomness rule.
+package scenario
+
+import "math/rand"
+
+// Compile lowers a spec into per-quantum factors; as an exported
+// Compile* in an internal/scenario package it is a deterministic
+// compiler sink. The global draw it reaches through jitter is the
+// violation.
+func Compile(slices int) []float64 {
+	out := make([]float64, slices)
+	for i := range out {
+		out[i] = jitter()
+	}
+	return out
+}
+
+func jitter() float64 {
+	return rand.Float64()
+}

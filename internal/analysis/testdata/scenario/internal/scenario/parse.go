@@ -1,0 +1,16 @@
+package scenario
+
+import "time"
+
+// epoch anchors the parse-duration profile.
+var epoch = time.Unix(0, 0)
+
+// Parse reads one spec; the duration profile it reaches carries a
+// pre-existing determinism waiver, which the taint pass honors.
+func Parse(src string) int {
+	return len(src) + int(profile()%1)
+}
+
+func profile() int64 {
+	return time.Since(epoch).Nanoseconds() //lint:allow determinism parse profiling is logged to stderr, never into a compiled spec
+}

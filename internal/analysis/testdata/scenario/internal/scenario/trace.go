@@ -1,0 +1,17 @@
+package scenario
+
+import "time"
+
+// ResampleTrace resamples replay rows onto the quantum grid; the
+// wall-clock read it reaches through stamp taints the replay table.
+func ResampleTrace(rows []float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, v := range rows {
+		out[i] = v + float64(stamp()%2)
+	}
+	return out
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

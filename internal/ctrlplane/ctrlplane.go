@@ -28,6 +28,7 @@ package ctrlplane
 
 import (
 	"fmt"
+	"math"
 
 	"cuttlesys/internal/fleet"
 	"cuttlesys/internal/harness"
@@ -250,10 +251,36 @@ type Manager struct {
 	unrouted   float64
 }
 
+// validate rejects threshold values the control loop's comparisons
+// would silently never trip on. withDefaults only replaces zero, so a
+// NaN that leaks in from an upstream config (every comparison against
+// NaN is false) would disable the autoscaler or the probation weight
+// without a trace — fail loudly at construction instead.
+func (cfg Config) validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"Health.ProbationWeight", cfg.Health.ProbationWeight},
+		{"Scale.UpUtil", cfg.Scale.UpUtil},
+		{"Scale.DownUtil", cfg.Scale.DownUtil},
+		{"Scale.MinBudgetFrac", cfg.Scale.MinBudgetFrac},
+	}
+	for _, c := range checks {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("ctrlplane: %s is %v; thresholds must be finite", c.name, c.v)
+		}
+	}
+	return nil
+}
+
 // New builds a manager over a fresh fleet assembled from specs. The
 // initial machines start healthy; everything the autoscaler or
 // replacement path admits later starts on probation.
 func New(cfg Config, specs ...fleet.NodeSpec) (*Manager, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	m := &Manager{
 		health: cfg.Health.withDefaults(),
 		scale:  cfg.Scale.withDefaults(),

@@ -430,3 +430,32 @@ func TestAllQuarantinedShedsLoad(t *testing.T) {
 		t.Fatal("fleet never reached the all-quarantined state")
 	}
 }
+
+// TestNewRejectsNonFiniteThresholds guards the config boundary:
+// withDefaults only replaces zero, so a NaN threshold leaking in from
+// an upstream config would make every debounce comparison false and
+// silently disable the autoscaler (or pin the probation weight).
+// Construction must refuse it, naming the field.
+func TestNewRejectsNonFiniteThresholds(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		cfg  ctrlplane.Config
+	}{
+		{"Scale.UpUtil", ctrlplane.Config{Scale: ctrlplane.ScaleConfig{UpUtil: nan}}},
+		{"Scale.DownUtil", ctrlplane.Config{Scale: ctrlplane.ScaleConfig{DownUtil: nan}}},
+		{"Scale.MinBudgetFrac", ctrlplane.Config{Scale: ctrlplane.ScaleConfig{MinBudgetFrac: math.Inf(1)}}},
+		{"Health.ProbationWeight", ctrlplane.Config{Health: ctrlplane.HealthConfig{ProbationWeight: nan}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ctrlplane.New(tc.cfg, buildSpecs(t, 2, nil)...)
+			if err == nil {
+				t.Fatal("non-finite threshold accepted")
+			}
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Errorf("error %q does not name %s", err, tc.name)
+			}
+		})
+	}
+}

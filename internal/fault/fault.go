@@ -57,6 +57,17 @@ const (
 	BudgetDrop Kind = "budget-drop"
 )
 
+// KindByName resolves a fault-kind name ("core-failstop", …) to its
+// Kind. Scenario specs and other data-driven callers use it to turn
+// declarative text into schedule events with validated kinds.
+func KindByName(name string) (Kind, error) {
+	switch k := Kind(name); k {
+	case CoreFailStop, CoreFailSlow, ProfileCorrupt, TelemetryGarbage, FlashCrowd, BudgetDrop:
+		return k, nil
+	}
+	return "", fmt.Errorf("fault: unknown kind %q", name)
+}
+
 // Event is one failure active over [Start, End) seconds of simulated
 // time. Fields beyond Kind/Start/End are interpreted per Kind; zero
 // values take that Kind's default.

@@ -3,6 +3,7 @@ package fault
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"cuttlesys/internal/sim"
@@ -188,5 +189,22 @@ func TestProfileVsSteadySelection(t *testing.T) {
 	}
 	if !changed {
 		t.Fatal("Prob=1 profile corruption changed nothing")
+	}
+}
+
+// TestKindByName pins the data-driven kind registry: every declared
+// kind resolves to itself and unknown names error with the input.
+func TestKindByName(t *testing.T) {
+	for _, k := range []Kind{CoreFailStop, CoreFailSlow, ProfileCorrupt, TelemetryGarbage, FlashCrowd, BudgetDrop} {
+		got, err := KindByName(string(k))
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if got != k {
+			t.Errorf("KindByName(%q) = %q", k, got)
+		}
+	}
+	if _, err := KindByName("disk-full"); err == nil || !strings.Contains(err.Error(), "disk-full") {
+		t.Errorf("unknown kind error %v does not name the input", err)
 	}
 }

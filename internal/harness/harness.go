@@ -149,6 +149,28 @@ func StepLoad(lo, hi, from, to float64) LoadPattern {
 	}
 }
 
+// Modulated multiplies a per-quantum factor table onto a base
+// pattern: sample k covers times nearest k·quantum, clamped to the
+// table, so a precomputed stochastic or trace-replay factor sequence
+// becomes a pure function of simulated time. Rounding (not flooring)
+// the quantum index keeps the lookup robust to the accumulated float
+// error of a clock advanced by repeated quantum additions. An empty
+// table leaves the base pattern unchanged.
+func Modulated(base LoadPattern, factors []float64, quantum float64) LoadPattern {
+	if len(factors) == 0 {
+		return base
+	}
+	return func(t float64) float64 {
+		k := int(math.Round(t / quantum))
+		if k < 0 {
+			k = 0
+		} else if k >= len(factors) {
+			k = len(factors) - 1
+		}
+		return base(t) * factors[k]
+	}
+}
+
 // BudgetPattern yields the power budget (fraction of the machine's
 // reference max power) at a simulation time.
 type BudgetPattern func(t float64) float64

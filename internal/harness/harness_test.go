@@ -238,3 +238,37 @@ func TestRunMultiErrorPaths(t *testing.T) {
 		t.Fatalf("step after rejected input lost accounting: %+v", rec)
 	}
 }
+
+// TestModulated covers the factor-table modulation the scenario
+// engine compiles stochastic arrivals onto: an empty table must
+// return the base pattern itself (so deterministic clients stay
+// bitwise identical to their envelopes), indices round rather than
+// floor (robust to a clock accumulated by repeated quantum adds), and
+// out-of-range times clamp to the table edges.
+func TestModulated(t *testing.T) {
+	base := ConstantLoad(0.5)
+	nilMod := Modulated(base, nil, SliceDur)
+	for _, ts := range []float64{0, 0.05, 1, 100} {
+		if nilMod(ts) != base(ts) {
+			t.Errorf("empty factor table changed the pattern at t=%v", ts)
+		}
+	}
+	factors := []float64{1, 2, 4}
+	mod := Modulated(base, factors, SliceDur)
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 0.5},                 // quantum 0
+		{0.04, 0.5},              // rounds down to quantum 0
+		{0.06, 1.0},              // rounds up to quantum 1
+		{0.1 + 0.1 - 1e-13, 2.0}, // accumulated clock error still hits quantum 2
+		{-1, 0.5},                // clamps low
+		{5, 2.0},                 // clamps past the table end
+	}
+	for _, tc := range cases {
+		if got := mod(tc.t); got != tc.want {
+			t.Errorf("Modulated(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package scenario
+
+import (
+	"math"
+
+	"cuttlesys/internal/rng"
+)
+
+// This file holds the stochastic arrival samplers. Each process
+// yields one multiplicative rate factor per decision quantum with
+// mean 1, so composing it onto a deterministic envelope perturbs the
+// shape without changing the offered volume in expectation:
+//
+//   - poisson: the factor is a Poisson arrival count over the quantum
+//     divided by its mean (Events per quantum), the shot noise of
+//     independent arrivals — CV = 1/sqrt(Events);
+//   - bursty: a gamma factor with unit mean and the configured CV,
+//     the overdispersed bursts of correlated traffic (a gamma-mixed
+//     Poisson marginal, CV > 1 typical);
+//   - weibull: a unit-mean Weibull intensity with shape k < 1 giving
+//     the heavy-tailed quiet/spike alternation of machine-generated
+//     traffic (k = 1 degenerates to exponential).
+//
+// Factors are drawn serially, one per quantum in time order, from the
+// caller's stream — never inside the fleet's parallel section — so a
+// compiled pattern is a pure lookup table and the run stays
+// byte-identical at any GOMAXPROCS.
+
+// factors samples the arrival's stochastic factor table, or returns
+// nil when the process is fully deterministic (pure envelope) or
+// trace-driven. r may be nil in that case.
+func (a *ArrivalSpec) factors(r *rng.RNG, slices int) []float64 {
+	switch a.stochastic() {
+	case ProcPoisson:
+		return poissonFactors(r, slices, a.Events.Value())
+	case ProcBursty:
+		return gammaFactors(r, slices, a.CV.Value())
+	case ProcWeibull:
+		return weibullFactors(r, slices, a.Shape.Value())
+	}
+	return nil
+}
+
+// poissonFactors draws per-quantum Poisson counts with mean lambda
+// and normalises them to unit-mean factors.
+func poissonFactors(r *rng.RNG, slices int, lambda float64) []float64 {
+	out := make([]float64, slices)
+	for i := range out {
+		out[i] = poissonVariate(r, lambda) / lambda
+	}
+	return out
+}
+
+// poissonVariate samples a Poisson count: Knuth's product-of-uniforms
+// walk for small means, the rounded normal approximation above 30
+// (where the walk's run length, and so the stream's consumption,
+// would grow linearly in lambda).
+func poissonVariate(r *rng.RNG, lambda float64) float64 {
+	if lambda > 30 {
+		n := math.Round(lambda + math.Sqrt(lambda)*r.Norm())
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	limit := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p < limit {
+			return float64(k)
+		}
+		k++
+	}
+}
+
+// gammaFactors draws unit-mean gamma factors with the given
+// coefficient of variation: shape alpha = 1/cv², scale 1/alpha.
+func gammaFactors(r *rng.RNG, slices int, cv float64) []float64 {
+	alpha := 1 / (cv * cv)
+	out := make([]float64, slices)
+	for i := range out {
+		out[i] = gammaVariate(r, alpha) / alpha
+	}
+	return out
+}
+
+// gammaVariate samples Gamma(alpha, 1) via Marsaglia–Tsang
+// squeeze-and-reject; shapes below 1 (the bursty regime) are boosted
+// through Gamma(alpha+1)·U^(1/alpha).
+func gammaVariate(r *rng.RNG, alpha float64) float64 {
+	if alpha < 1 {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return gammaVariate(r, alpha+1) * math.Pow(u, 1/alpha)
+	}
+	d := alpha - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		x2 := x * x
+		if u < 1-0.0331*x2*x2 {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x2+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// weibullFactors draws unit-mean Weibull factors with shape k: the
+// raw variate scale^k inversion normalised by the analytic mean
+// Γ(1 + 1/k).
+func weibullFactors(r *rng.RNG, slices int, k float64) []float64 {
+	scale := 1 / math.Gamma(1+1/k)
+	out := make([]float64, slices)
+	for i := range out {
+		out[i] = scale * math.Pow(r.Exp(1), 1/k)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"cuttlesys/internal/rng"
+)
+
+// sampleFactors draws a large factor table for one stochastic process.
+func sampleFactors(t *testing.T, a ArrivalSpec, n int) []float64 {
+	t.Helper()
+	f := a.factors(rng.NewStream(0xfac70125, 7), n)
+	if len(f) != n {
+		t.Fatalf("%s: got %d factors, want %d", a.Process, len(f), n)
+	}
+	return f
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}
+
+// Every stochastic process must yield unit-mean factors: modulating an
+// envelope must not change the offered volume in expectation.
+func TestArrivalFactorsUnitMean(t *testing.T) {
+	const n = 40000
+	cases := []ArrivalSpec{
+		{Process: ProcPoisson, Events: num(64)},
+		{Process: ProcPoisson, Events: num(4)}, // Knuth small-mean path
+		{Process: ProcBursty, CV: num(2)},
+		{Process: ProcBursty, CV: num(0.5)}, // shape > 1 path
+		{Process: ProcWeibull, Shape: num(0.7)},
+		{Process: ProcWeibull, Shape: num(1)}, // exponential degenerate
+	}
+	for _, a := range cases {
+		a := a
+		t.Run(a.Process+"/"+a.stochastic(), func(t *testing.T) {
+			mean, _ := meanStd(sampleFactors(t, a, n))
+			if math.Abs(mean-1) > 0.05 {
+				t.Errorf("%s mean factor = %.4f, want ≈ 1", a.Process, mean)
+			}
+			for _, f := range sampleFactors(t, a, 100) {
+				if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+					t.Fatalf("%s produced illegal factor %v", a.Process, f)
+				}
+			}
+		})
+	}
+}
+
+// Burstiness must order as documented: the poisson shot noise of many
+// independent events is mild, gamma bursts at cv=2 are strong, and the
+// heavy-tailed weibull at shape 0.7 sits between.
+func TestArrivalBurstinessOrdering(t *testing.T) {
+	const n = 40000
+	cv := func(a ArrivalSpec) float64 {
+		mean, std := meanStd(sampleFactors(t, a, n))
+		return std / mean
+	}
+	poisson := cv(ArrivalSpec{Process: ProcPoisson, Events: num(64)})
+	weibull := cv(ArrivalSpec{Process: ProcWeibull, Shape: num(0.7)})
+	bursty := cv(ArrivalSpec{Process: ProcBursty, CV: num(2)})
+	if !(poisson < weibull && weibull < bursty) {
+		t.Errorf("burstiness ordering violated: poisson %.3f, weibull %.3f, bursty %.3f",
+			poisson, weibull, bursty)
+	}
+	// The analytic targets: 1/sqrt(64) and the configured cv.
+	if math.Abs(poisson-0.125) > 0.03 {
+		t.Errorf("poisson cv = %.4f, want ≈ 0.125", poisson)
+	}
+	if math.Abs(bursty-2) > 0.25 {
+		t.Errorf("bursty cv = %.4f, want ≈ 2", bursty)
+	}
+}
+
+// Identical streams must reproduce identical tables; distinct client
+// indexes must not.
+func TestArrivalFactorsDeterministic(t *testing.T) {
+	a := ArrivalSpec{Process: ProcBursty, CV: num(2)}
+	x := a.factors(rng.NewStream(42, 0), 256)
+	y := a.factors(rng.NewStream(42, 0), 256)
+	z := a.factors(rng.NewStream(42, 1), 256)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("same stream diverged at %d: %v vs %v", i, x[i], y[i])
+		}
+	}
+	same := true
+	for i := range x {
+		if x[i] != z[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("distinct streams produced identical tables")
+	}
+}
+
+// Deterministic arrivals draw nothing.
+func TestArrivalFactorsNilForDeterministic(t *testing.T) {
+	for _, a := range []ArrivalSpec{
+		{Process: ProcConstant, Env: Envelope{Rate: num(1)}},
+		{Process: ProcStep},
+		{Process: ProcDiurnal},
+		{Process: ProcTrace},
+	} {
+		if f := a.factors(nil, 16); f != nil {
+			t.Errorf("%s drew %d factors, want none", a.Process, len(f))
+		}
+	}
+}

@@ -297,3 +297,41 @@ func TestMissRatioNegativeWaysClamped(t *testing.T) {
 		t.Fatalf("negative ways should clamp to zero: %v vs %v", got, ceil)
 	}
 }
+
+// TestMixDeterminism is the scenario engine's contract with the mix
+// clause: one seed fully determines the batch mix — every field of
+// every instance — and distinct seeds draw distinct mixes, so two
+// machines seeded differently never share a catalog by accident.
+func TestMixDeterminism(t *testing.T) {
+	_, pool := SplitTrainTest(1, 16)
+	a, b := Mix(42, pool, 16), Mix(42, pool, 16)
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("mix instance %d differs for equal seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	other := Mix(43, pool, 16)
+	same := true
+	for i := range a {
+		if a[i].Name != other[i].Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 drew the same 16-app mix")
+	}
+}
+
+// TestSyntheticLCDistinctSeeds checks the jittered LC variants change
+// with the seed: identical catalogs across seeds would mean the
+// characterisation rows carry no seed entropy at all.
+func TestSyntheticLCDistinctSeeds(t *testing.T) {
+	a, b := SyntheticLC(3, 8), SyntheticLC(4, 8)
+	for i := range a {
+		if a[i].ILP != b[i].ILP || a[i].MaxQPS != b[i].MaxQPS {
+			return
+		}
+	}
+	t.Fatal("seeds 3 and 4 produced identical synthetic LC catalogs")
+}
