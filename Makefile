@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench chaos fleet ops trace bench-obs bench-decide scenario bench-scenario lint lint-json fmt ci
+.PHONY: build test race vet bench chaos fleet ops trace bench-obs bench-decide scenario bench-scenario warmstart bench-warmstart lint lint-json fmt ci
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,15 @@ scenario:
 # the library scenarios not already pinned by the fleet/ops reports.
 bench-scenario:
 	$(GO) run ./cmd/scenario -seed 1 -o BENCH_scenario.json
+
+# Run the model-sharing warm-start sweep to stdout (DESIGN.md §14):
+# cold vs warm successors across staleness settings and fleet sizes.
+warmstart:
+	$(GO) run ./cmd/warmstart -seed 7
+
+# Regenerate the seeded warm-start reference report (EXPERIMENTS.md).
+bench-warmstart:
+	$(GO) run ./cmd/warmstart -seed 7 -o BENCH_warmstart.json
 
 # Regenerate the seeded decision-loop fast-path audit (EXPERIMENTS.md):
 # per-cell search work counters plus bit-equivalence verdicts against

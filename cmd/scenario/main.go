@@ -8,6 +8,9 @@
 //
 // Modes:
 //
+//   - scenario -list: print the embedded spec library roster — one
+//     line per spec with its clients, fault clauses and control
+//     clauses — in stable lexical order.
 //   - scenario -validate [spec ...]: parse, round-trip and compile
 //     each spec (paths on disk, or library names; all embedded library
 //     specs when none are given). Exits non-zero on the first error.
@@ -30,6 +33,7 @@
 //
 //	scenario [-seed 1] [-machines 0] [-slices 0] [-service ""]
 //	         [-load 0] [-cap 0] [-o report.json]
+//	scenario -list
 //	scenario -validate specs/*.spec
 //	scenario -describe flash-crowd
 //	scenario -run trace-replay -seed 3
@@ -129,6 +133,7 @@ func validateOverrides(o overrides) error {
 }
 
 func main() {
+	list := flag.Bool("list", false, "print the embedded spec library roster and exit")
 	validate := flag.Bool("validate", false, "validate the given spec files (or the whole library) and exit")
 	describe := flag.Bool("describe", false, "print the canonical rendering and compiled summary of one spec")
 	runOnly := flag.Bool("run", false, "run one spec and emit its JSON report")
@@ -145,17 +150,19 @@ func main() {
 		Machines: *machines, Slices: *slices, Service: *service,
 		Load: *load, Cap: *capFrac, Seed: *seed,
 	}
-	if err := runMain(*validate, *describe, *runOnly, o, flag.Args(), *out); err != nil {
+	if err := runMain(*list, *validate, *describe, *runOnly, o, flag.Args(), *out); err != nil {
 		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func runMain(validate, describe, runOnly bool, o overrides, args []string, out string) error {
+func runMain(list, validate, describe, runOnly bool, o overrides, args []string, out string) error {
 	if err := validateOverrides(o); err != nil {
 		return err
 	}
 	switch {
+	case list:
+		return listSpecs(os.Stdout)
 	case validate:
 		return validateSpecs(args, os.Stdout)
 	case describe:
@@ -218,6 +225,53 @@ func compileSpec(arg string, o overrides) (*cuttlesys.CompiledScenario, error) {
 		Machines: o.Machines, Slices: o.Slices, Service: o.Service,
 		Load: o.Load, Cap: o.Cap, Seed: o.Seed, FS: fsys,
 	})
+}
+
+// listSpecs prints the embedded library roster, one line per spec in
+// the library's lexical (stable) order: the spec name, its traffic
+// clients, how many fault clauses it carries, its control clauses
+// (or "bare"), and its share clause when model sharing is on. The
+// output is deterministic byte for byte, so shell pipelines over it
+// stay reproducible.
+func listSpecs(w io.Writer) error {
+	for _, name := range specs.Names() {
+		src, err := specs.Source(name)
+		if err != nil {
+			return err
+		}
+		sp, err := cuttlesys.ParseScenario(src)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		clients := make([]string, len(sp.Clients))
+		for i := range sp.Clients {
+			clients[i] = sp.Clients[i].Name
+		}
+		control := "bare"
+		if sp.Control != nil {
+			var parts []string
+			if sp.Control.ReplaceEvicted {
+				parts = append(parts, "replace-evicted")
+			}
+			if sp.Control.HasHealth {
+				parts = append(parts, "health")
+			}
+			if sp.Control.HasScale {
+				parts = append(parts, "scale")
+			}
+			if len(parts) == 0 {
+				parts = append(parts, "managed")
+			}
+			control = strings.Join(parts, "+")
+		}
+		line := fmt.Sprintf("%-22s clients=%s faults=%d control=%s",
+			name, strings.Join(clients, ","), len(sp.Faults), control)
+		if sp.Share != nil {
+			line += fmt.Sprintf(" share=syncperiod:%d", sp.Share.SyncPeriod)
+		}
+		fmt.Fprintln(w, strings.TrimRight(line, " "))
+	}
+	return nil
 }
 
 // validateSpecs parses, round-trips and compiles every requested spec

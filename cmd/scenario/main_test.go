@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -20,13 +21,62 @@ func TestValidateLibrary(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.Contains(out, "validated 11 spec(s)") {
-		t.Errorf("library validation output %q, want 11 specs", out)
+	if !strings.Contains(out, "validated 12 spec(s)") {
+		t.Errorf("library validation output %q, want 12 specs", out)
 	}
 	for _, name := range benchScenarios() {
 		if !strings.Contains(out, "ok "+name) {
 			t.Errorf("library validation missing %q", name)
 		}
+	}
+}
+
+// TestListSpecs pins the -list roster: one line per embedded spec in
+// lexical order, each naming its clients, fault count and control
+// clauses, and the whole output stable run to run.
+func TestListSpecs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := listSpecs(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	var names []string
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			t.Fatalf("roster line %q lacks the name/clients/faults/control columns", line)
+		}
+		names = append(names, fields[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("roster not in lexical order: %v", names)
+	}
+	if len(names) != 12 {
+		t.Errorf("roster has %d specs, want 12", len(names))
+	}
+	byName := make(map[string]string, len(lines))
+	for i, line := range lines {
+		byName[names[i]] = line
+	}
+	fo, ok := byName["failover"]
+	if !ok || !strings.Contains(fo, "clients=primary") ||
+		!strings.Contains(fo, "faults=1") || !strings.Contains(fo, "control=replace-evicted") {
+		t.Errorf("failover roster line %q missing clients/faults/control", fo)
+	}
+	wf := byName["warm-failover"]
+	if !strings.Contains(wf, "share=syncperiod:2") {
+		t.Errorf("warm-failover roster line %q does not show its share clause", wf)
+	}
+	if st := byName["steady"]; !strings.Contains(st, "control=bare") {
+		t.Errorf("steady roster line %q should be a bare fleet", st)
+	}
+
+	var again bytes.Buffer
+	if err := listSpecs(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two -list runs produced different bytes")
 	}
 }
 

@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that this binary was built with -race: the full
+// reference sweep is ~15x slower under the detector and exceeds the
+// test timeout, and the serial fold it exercises is race-tested
+// cheaply in internal/modelplane and internal/fleet.
+const raceEnabled = true

@@ -39,6 +39,7 @@ import (
 	"cuttlesys/internal/fault"
 	"cuttlesys/internal/fleet"
 	"cuttlesys/internal/harness"
+	"cuttlesys/internal/modelplane"
 	"cuttlesys/internal/obs"
 	"cuttlesys/internal/scenario"
 	"cuttlesys/internal/sgd"
@@ -370,6 +371,25 @@ type ControlPlaneSliceRecord = ctrlplane.SliceRecord
 func NewControlPlane(cfg ControlPlaneConfig, nodes ...FleetNode) (*ControlPlane, error) {
 	return ctrlplane.New(cfg, nodes...)
 }
+
+// ModelPlane is the fleet-wide model-sharing plane: machines running
+// the same service mix publish their trained SGD factors to a
+// versioned, deterministically-folded aggregation store, and new or
+// recovered machines warm-start from the fleet aggregate instead of
+// cold initialisation (DESIGN.md §14). Hook one into
+// FleetConfig.Share and ControlPlaneConfig.WarmStart.
+type ModelPlane = modelplane.Plane
+
+// ModelPlaneParams tunes the plane's accuracy-vs-staleness knobs:
+// sync period, aggregate decay, fine-tune sweeps, confidence credit.
+type ModelPlaneParams = modelplane.Params
+
+// ModelPlaneKeyStats summarises one service-mix key's share state.
+type ModelPlaneKeyStats = modelplane.KeyStats
+
+// NewModelPlane builds an empty model-sharing plane; see
+// modelplane.New. A nil collector disables instrumentation.
+func NewModelPlane(p ModelPlaneParams, c Collector) *ModelPlane { return modelplane.New(p, c) }
 
 // Collector receives trace events, metric updates and profiling
 // samples from an instrumented run (DESIGN.md §10). Attach one via

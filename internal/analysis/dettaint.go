@@ -25,7 +25,10 @@ import (
 // reports), exported Write*/Export* functions in internal/obs,
 // exported Parse*/Compile*/Resample* functions in internal/scenario
 // (a compiled spec must be a pure function of spec bytes and seed),
-// and ctrlplane's membership/transition/log functions. Each source is
+// exported Publish*/Aggregate*/WarmStart* functions in
+// internal/modelplane (the fleet aggregate must fold bit-identically
+// regardless of publish order, so every machine warm-starts from the
+// same bytes), and ctrlplane's membership/transition/log functions. Each source is
 // reported once, attributed to the first sink (in source order) whose
 // closure reaches it. Waivers are honored at any chain frame, and
 // //lint:allow determinism directives keep covering the same code —
@@ -110,6 +113,10 @@ func taintSinkLabel(fi *FuncInfo) (string, bool) {
 		(strings.HasPrefix(name, "Parse") || strings.HasPrefix(name, "Compile") ||
 			strings.HasPrefix(name, "Resample")):
 		return "scenario compiler " + fi.pathName(), true
+	case hasPathSegment(path, "internal/modelplane") && fi.Fn.Exported() &&
+		(strings.HasPrefix(name, "Publish") || strings.HasPrefix(name, "Aggregate") ||
+			strings.HasPrefix(name, "WarmStart")):
+		return "model-sharing fold " + fi.pathName(), true
 	case hasPathSegment(path, "internal/ctrlplane"):
 		low := strings.ToLower(name)
 		if strings.Contains(low, "log") || strings.Contains(low, "transition") || strings.Contains(low, "membership") {

@@ -1,0 +1,32 @@
+// Package modelplane carries the fixture's model-sharing fold sinks:
+// exported Publish*/Aggregate*/WarmStart* functions feed the fleet
+// aggregate every warm-started machine imports, so any order or clock
+// dependence reaching them skews every successor identically wrongly.
+package modelplane
+
+import "sort"
+
+// Aggregate folds the published factors in map hash order — the
+// order-sensitive append the fold must not contain.
+func Aggregate(pubs map[int]float64) []float64 {
+	var out []float64
+	for _, v := range pubs {
+		out = append(out, v)
+	}
+	return out
+}
+
+// PublishFactors folds the same map through a sorted key slice; the
+// subsequent sort keeps the sink off the report.
+func PublishFactors(pubs map[int]float64) []float64 {
+	keys := make([]int, 0, len(pubs))
+	for k := range pubs {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, pubs[k])
+	}
+	return out
+}

@@ -25,6 +25,7 @@ func (rt *Runtime) Decide(profile []sim.PhaseResult, qps, budgetW float64) (sim.
 // qps carries one offered load per service, primary first.
 func (rt *Runtime) DecideMulti(profile []sim.PhaseResult, qps []float64, budgetW float64) (sim.Allocation, float64) {
 	rt.slice++
+	rt.noteSampling()
 	if math.IsNaN(budgetW) || budgetW < 0 {
 		// A garbage budget reading fails safe: a zero budget gates the
 		// batch side down to its floor instead of propagating NaN

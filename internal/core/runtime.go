@@ -110,6 +110,12 @@ type Params struct {
 	// optimistic error there must still leave the service below the
 	// knee. Default 1.2.
 	ProbeMargin float64
+	// ShareFactors captures the trained factor state of every
+	// reconstruction for export to the fleet model-sharing plane
+	// (internal/modelplane). Capture never changes predictions — the
+	// reconstruction math is identical — but the default is off so
+	// runtimes outside a share-enabled fleet skip the copy entirely.
+	ShareFactors bool
 
 	// Resilience guards (graceful degradation under faults).
 	//
@@ -272,6 +278,16 @@ type Runtime struct {
 	// obs receives decision-phase telemetry; Nop unless the driver
 	// attached a collector via SetCollector.
 	obs obs.Collector
+
+	// Model-sharing state (share.go): the factor sets captured by the
+	// latest reconstruction (ShareFactors), the imported fleet
+	// aggregate standing in for the cold init after a WarmStart, its
+	// fine-tune sweep budget, and the sampling-phase quantum count.
+	factors        map[string]*sgd.Factors
+	warm           map[string]*sgd.Factors
+	warmIters      int
+	warmStarted    bool
+	samplingQuanta int
 
 	// Fast-path scratch: separableObjective rebuilds the score tables
 	// into these each quantum so steady-state slices do not allocate.
@@ -665,31 +681,59 @@ func (rt *Runtime) updateDivergence(alloc *sim.Allocation, steady sim.PhaseResul
 }
 
 // reconstructAll runs the reconstruction instances in parallel (§V).
+// With ShareFactors each instance also captures its trained factor
+// state; the captures land in pre-sized per-goroutine cells and are
+// folded into rt.factors serially after the join, preserving the
+// determinism discipline.
 func (rt *Runtime) reconstructAll() (thr, pwr, lat, svc *sgd.Prediction) {
 	params := rt.p.SGD
 	params.Seed = rt.p.Seed + uint64(rt.slice)
+	capture := rt.p.ShareFactors
+	var facThr, facPwr, facLat, facSvc *sgd.Factors
+	run := func(m *sgd.Matrix, surface string, pred **sgd.Prediction, fac **sgd.Factors) {
+		p := rt.shareParams(params, surface)
+		if capture {
+			*pred, *fac, _ = sgd.ReconstructFactors(m, p) //lint:allow errdrop cold model is expected early on; nil factors are skipped by the fold
+			return
+		}
+		*pred = sgd.ReconstructParallel(m, p)
+	}
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		thr = sgd.ReconstructParallel(rt.thrM, params)
+		run(rt.thrM, "thr", &thr, &facThr)
 	}()
 	go func() {
 		defer wg.Done()
-		pwr = sgd.ReconstructParallel(rt.pwrM, params)
+		run(rt.pwrM, "pwr", &pwr, &facPwr)
 	}()
 	if rt.latM != nil {
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			lat = sgd.ReconstructParallel(rt.latM, params)
+			run(rt.latM, "lat", &lat, &facLat)
 		}()
 		go func() {
 			defer wg.Done()
-			svc = sgd.ReconstructParallel(rt.svcM, params)
+			run(rt.svcM, "svc", &svc, &facSvc)
 		}()
 	}
 	wg.Wait()
+	if capture {
+		out := make(map[string]*sgd.Factors, 4)
+		for _, c := range []struct {
+			surface string
+			fac     *sgd.Factors
+		}{{"thr", facThr}, {"pwr", facPwr}, {"lat", facLat}, {"svc", facSvc}} {
+			if c.fac != nil {
+				out[c.surface] = c.fac
+			}
+		}
+		if len(out) > 0 {
+			rt.factors = out
+		}
+	}
 	return thr, pwr, lat, svc
 }
 

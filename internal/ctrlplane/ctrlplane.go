@@ -181,6 +181,19 @@ func (c ScaleConfig) withDefaults() ScaleConfig {
 	return c
 }
 
+// WarmStarter is the control plane's hook into the fleet model-sharing
+// plane (internal/modelplane.Plane implements it): every machine the
+// manager provisions — autoscale-up and ReplaceEvicted successors alike
+// — is offered fleet-aggregated factors before its first slice, so a
+// replacement does not pay the full characterization cost its
+// predecessor already paid. The hook runs on the serial provisioning
+// path, between slices.
+type WarmStarter interface {
+	// WarmStartMachine hands machine id's scheduler the fleet aggregate
+	// for its service mix; reports whether a warm start happened.
+	WarmStartMachine(id int, sched harness.MultiScheduler) bool
+}
+
 // Config assembles a Manager: the fleet it runs (whose Router is
 // wrapped with the control plane's health mask) plus the health and
 // scaling policies.
@@ -188,6 +201,10 @@ type Config struct {
 	Fleet  fleet.Config
 	Health HealthConfig
 	Scale  ScaleConfig
+	// WarmStart, when non-nil, warm-starts every provisioned machine
+	// from the model-sharing plane. Nil (the default) leaves successors
+	// cold-started.
+	WarmStart WarmStarter
 }
 
 // MembershipEvent is one entry of the membership log: a machine
@@ -232,6 +249,7 @@ type Manager struct {
 	f      *fleet.Fleet
 	health HealthConfig
 	scale  ScaleConfig
+	warm   WarmStarter
 	mask   *maskRouter
 	obs    obs.Collector
 
@@ -284,6 +302,7 @@ func New(cfg Config, specs ...fleet.NodeSpec) (*Manager, error) {
 	m := &Manager{
 		health: cfg.Health.withDefaults(),
 		scale:  cfg.Scale.withDefaults(),
+		warm:   cfg.WarmStart,
 		obs:    obs.OrNop(cfg.Fleet.Collector),
 		seeds:  rng.New(cfg.Scale.Seed),
 	}
@@ -536,6 +555,12 @@ func (m *Manager) provision(reason string) (int, error) {
 	got, err := m.f.Attach(spec)
 	if err != nil {
 		return 0, fmt.Errorf("ctrlplane: attach machine %d: %w", id, err)
+	}
+	if m.warm != nil {
+		// Warm-start the successor before its first slice: scale-ups and
+		// health replacements inherit the fleet's learned model instead
+		// of re-paying the sampling phase.
+		m.warm.WarmStartMachine(got, spec.Scheduler)
 	}
 	m.trk = append(m.trk, &tracker{state: Probation})
 	m.logEvent(got, "join", reason)

@@ -98,6 +98,30 @@ type Config struct {
 	// schedulers themselves are deterministic per slice — in particular
 	// SGD reconstruction must run with Workers=1 on traced runs.
 	Collector obs.Collector
+	// Share, when non-nil, is invoked after every slice's index-ordered
+	// fold (serially, at cluster scope) with the active membership —
+	// the hook the model-sharing plane (internal/modelplane) uses to
+	// collect factor publications and fold fleet aggregates. Because it
+	// runs in the serial section and members arrive in ascending id
+	// order, anything it computes inherits the fleet's byte-determinism
+	// at any GOMAXPROCS. Nil (the default) disables sharing at zero
+	// cost.
+	Share SharePlane
+}
+
+// ShareMember is one active machine as seen by the SharePlane hook:
+// its stable id plus the scheduler stepping it, which the plane
+// type-asserts for factor export/import capability.
+type ShareMember struct {
+	ID        int
+	Scheduler harness.MultiScheduler
+}
+
+// SharePlane receives the post-fold hook each slice. slice is the
+// fleet slice index just completed, now its start time in seconds, and
+// members the machines stepped, ascending by id.
+type SharePlane interface {
+	AfterSlice(slice int, now float64, members []ShareMember)
 }
 
 // node is one machine's private state. Its index in Fleet.nodes is the
@@ -130,6 +154,7 @@ type Fleet struct {
 	tele    []Telemetry
 	slices  []SliceRecord
 	obs     obs.Collector
+	share   SharePlane
 }
 
 // New assembles a fleet. Every machine must host exactly one
@@ -144,6 +169,7 @@ func New(cfg Config, specs ...NodeSpec) (*Fleet, error) {
 		arbiter: cfg.Arbiter,
 		workers: cfg.Workers,
 		obs:     obs.OrNop(cfg.Collector),
+		share:   cfg.Share,
 	}
 	if f.router == nil {
 		f.router = Uniform{}
@@ -444,6 +470,15 @@ func (f *Fleet) Step(offered, budgetW float64) (SliceRecord, error) {
 	rec.QoSMetFrac = float64(met) / float64(n)
 	if traced {
 		f.emitFleetTelemetry(&rec, len(f.slices))
+	}
+	if f.share != nil {
+		// Serial section, ascending id order: the share plane's folds
+		// inherit the fleet's determinism discipline.
+		members := make([]ShareMember, n)
+		for k, id := range act {
+			members[k] = ShareMember{ID: id, Scheduler: f.nodes[id].d.Scheduler()}
+		}
+		f.share.AfterSlice(len(f.slices), t, members)
 	}
 	f.slices = append(f.slices, rec)
 	f.now += harness.SliceDur

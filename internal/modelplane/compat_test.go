@@ -1,0 +1,14 @@
+package modelplane
+
+import (
+	"cuttlesys/internal/core"
+	"cuttlesys/internal/ctrlplane"
+)
+
+// The plane's structural contracts, pinned at compile time: the core
+// runtime is a valid share-plane member, and the plane itself slots
+// into the control plane's warm-start hook.
+var (
+	_ Sharer                = (*core.Runtime)(nil)
+	_ ctrlplane.WarmStarter = (*Plane)(nil)
+)

@@ -65,6 +65,16 @@ const (
 	// EventScale marks an autoscaler action (attrs: dir = up|down,
 	// machine, util).
 	EventScale = "ctrl.scale"
+	// EventSharePublish marks a machine publishing its trained factors
+	// to the model-sharing plane (attrs: machine, key, matrix).
+	EventSharePublish = "share.publish"
+	// EventShareAggregate marks the plane folding pending publications
+	// into a new aggregate version (attrs: key, version, sources).
+	EventShareAggregate = "share.aggregate"
+	// EventShareWarmStart marks a machine importing fleet-aggregated
+	// factors instead of cold-initialising (attrs: machine, key,
+	// version).
+	EventShareWarmStart = "share.warmstart"
 )
 
 // Metric names. Per-machine series additionally carry MachineLabel
@@ -116,4 +126,12 @@ const (
 	MetricCtrlScaleOps    = "cuttlesys_ctrl_scale_ops_total"
 	MetricCtrlServing     = "cuttlesys_ctrl_serving_machines"
 	MetricCtrlUnroutedQPS = "cuttlesys_ctrl_unrouted_qps"
+
+	// Model-sharing plane (cluster scope; per-key series carry a key
+	// label, warm-start counters a machine label via ForMachine).
+	MetricSharePublishes  = "cuttlesys_share_publishes_total"
+	MetricShareAggregates = "cuttlesys_share_aggregates_total"
+	MetricShareWarmStarts = "cuttlesys_share_warmstarts_total"
+	MetricShareVersion    = "cuttlesys_share_version"
+	MetricShareStaleness  = "cuttlesys_share_staleness_slices"
 )

@@ -6,6 +6,7 @@ import (
 	"cuttlesys/internal/core"
 	"cuttlesys/internal/ctrlplane"
 	"cuttlesys/internal/fleet"
+	"cuttlesys/internal/modelplane"
 	"cuttlesys/internal/sgd"
 	"cuttlesys/internal/sim"
 	"cuttlesys/internal/workload"
@@ -47,8 +48,28 @@ func (c *Compiled) node(seed uint64, lc *workload.Profile, pool []*workload.Prof
 		Batch:          workload.Mix(seed, pool, c.Spec.Mix.Jobs),
 		Reconfigurable: true,
 	})
-	rt := core.New(m, core.Params{Seed: seed, SGD: sgd.Params{Deterministic: true}})
+	rt := core.New(m, core.Params{
+		Seed:         seed,
+		ShareFactors: c.Spec.Share != nil,
+		SGD:          sgd.Params{Deterministic: true},
+	})
 	return fleet.NodeSpec{Machine: m, Scheduler: rt}
+}
+
+// sharePlane builds the spec's model-sharing plane, nil when the spec
+// has no share clause. Each Build* call gets its own plane: the store
+// is per-run state, like the fleet itself.
+func (c *Compiled) sharePlane() *modelplane.Plane {
+	sh := c.Spec.Share
+	if sh == nil {
+		return nil
+	}
+	return modelplane.New(modelplane.Params{
+		SyncPeriod:     sh.SyncPeriod,
+		Decay:          sh.Decay.Value(),
+		FineTuneIters:  sh.FineTune,
+		WarmConfidence: sh.Confidence,
+	}, nil)
 }
 
 // nodes builds the initial fleet: per-machine seeds from the run
@@ -82,7 +103,11 @@ func (c *Compiled) BuildFleet(router fleet.Router, arbiter fleet.Arbiter) (*flee
 	if err != nil {
 		return nil, err
 	}
-	return fleet.New(fleet.Config{Router: router, Arbiter: arbiter}, specs...)
+	cfg := fleet.Config{Router: router, Arbiter: arbiter}
+	if pl := c.sharePlane(); pl != nil {
+		cfg.Share = pl
+	}
+	return fleet.New(cfg, specs...)
 }
 
 // BuildControlPlane assembles the managed fleet: the same nodes under
@@ -106,6 +131,13 @@ func (c *Compiled) BuildControlPlane(router fleet.Router, arbiter fleet.Arbiter)
 		Fleet:  fleet.Config{Router: router, Arbiter: arbiter},
 		Health: c.healthConfig(),
 		Scale:  scale,
+	}
+	// One plane serves both roles: the fleet hook feeds it
+	// publications, and the control plane warm-starts provisioned
+	// successors from its aggregates.
+	if pl := c.sharePlane(); pl != nil {
+		cfg.Fleet.Share = pl
+		cfg.WarmStart = pl
 	}
 	return ctrlplane.New(cfg, specs...)
 }

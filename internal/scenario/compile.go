@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"bytes"
 	"fmt"
 	"io/fs"
 	"math"
@@ -187,18 +188,28 @@ func (c *Compiled) compileClient(idx int, opt Options) (CompiledClient, error) {
 }
 
 // traceFactors loads, resamples and normalises a replay clause into
-// its per-quantum factor table.
+// its per-quantum factor table. Degenerate traces are refused up
+// front with the file named: an empty CSV or a single-row trace would
+// replay as a flat constant, which a constant arrival clause states
+// honestly — replaying it from a "trace" almost always means the
+// recording or the export step was broken.
 func (c *Compiled) traceFactors(a *ArrivalSpec, fsys fs.FS) ([]float64, error) {
 	if fsys == nil {
 		return nil, fmt.Errorf("trace %q needs a filesystem (Options.FS)", a.Trace.File)
 	}
 	data, err := fs.ReadFile(fsys, a.Trace.File)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace %q: %w", a.Trace.File, err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("trace %q is empty", a.Trace.File)
 	}
 	rows, err := ParseTrace(data)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace %q: %w", a.Trace.File, err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("trace %q has %d data row(s); replay needs at least 2", a.Trace.File, len(rows))
 	}
 	means, err := ResampleTrace(rows, a.Trace.Client, c.Slices, harness.SliceDur)
 	if err != nil {

@@ -45,6 +45,13 @@ func Format(s *Spec) []byte {
 	line("policy", "router="+s.Policy.Router, "arbiter="+s.Policy.Arbiter)
 	line(append([]string{"budget", s.Budget.Kind},
 		envParams(s.Budget.Kind, &s.Budget.Env, s.Budget.Absolute)...)...)
+	if s.Share != nil {
+		line("share",
+			"syncperiod="+strconv.Itoa(s.Share.SyncPeriod),
+			"decay="+s.Share.Decay.String(),
+			"finetune="+strconv.Itoa(s.Share.FineTune),
+			"confidence="+strconv.Itoa(s.Share.Confidence))
+	}
 	for i := range s.Clients {
 		c := &s.Clients[i]
 		b.WriteByte('\n')

@@ -121,6 +121,8 @@ func (p *parser) topDirective(line string, fields []string) error {
 		return p.policyDirective(rest)
 	case "budget":
 		return p.budgetDirective(rest)
+	case "share":
+		return p.shareDirective(rest)
 	case "client":
 		if len(rest) != 2 || rest[1] != "{" {
 			return p.errf("client directive wants: client <name> {")
@@ -293,6 +295,54 @@ func (p *parser) finishEnvelope(kind string, e *Envelope, what string) error {
 			e.Period = num(1)
 		}
 	}
+	return nil
+}
+
+// shareDirective parses the model-sharing clause and applies the
+// documented defaults (internal/modelplane's), so the parsed clause is
+// fully explicit: share syncperiod=4 decay=0.5 finetune=40
+// confidence=2.
+func (p *parser) shareDirective(rest []string) error {
+	sh := &ShareSpec{}
+	for _, tok := range rest {
+		k, v, err := p.keyVal(tok)
+		if err != nil {
+			return err
+		}
+		switch k {
+		case "syncperiod":
+			if err := setInt(&sh.SyncPeriod, v); err != nil {
+				return p.errf("share %s: %v", k, err)
+			}
+		case "decay":
+			if err := p.setNum(&sh.Decay, k, v); err != nil {
+				return err
+			}
+		case "finetune":
+			if err := setInt(&sh.FineTune, v); err != nil {
+				return p.errf("share %s: %v", k, err)
+			}
+		case "confidence":
+			if err := setInt(&sh.Confidence, v); err != nil {
+				return p.errf("share %s: %v", k, err)
+			}
+		default:
+			return p.errf("unknown share parameter %q", k)
+		}
+	}
+	if sh.SyncPeriod == 0 {
+		sh.SyncPeriod = 4
+	}
+	if sh.Decay.IsZero() {
+		sh.Decay = num(0.5)
+	}
+	if sh.FineTune == 0 {
+		sh.FineTune = 40
+	}
+	if sh.Confidence == 0 {
+		sh.Confidence = 2
+	}
+	p.spec.Share = sh
 	return nil
 }
 

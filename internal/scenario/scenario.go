@@ -123,9 +123,24 @@ type Spec struct {
 	Mix      MixSpec
 	Policy   PolicySpec
 	Budget   BudgetSpec
+	Share    *ShareSpec
 	Clients  []ClientSpec
 	Faults   []FaultSpec
 	Control  *ControlSpec
+}
+
+// ShareSpec enables the fleet model-sharing plane
+// (internal/modelplane): machines publish their trained SGD factors
+// every SyncPeriod slices, aggregates fold with weight Decay on the
+// previous version, and warm-started machines run FineTune SGD sweeps
+// while their QoS scan is credited Confidence clean slices. Decay must
+// stay strictly inside (0, 1) — the plane reads 0 as "use the
+// default", so the spec grammar refuses the ambiguous spelling.
+type ShareSpec struct {
+	SyncPeriod int
+	Decay      Num
+	FineTune   int
+	Confidence int
 }
 
 // MixSpec declares each machine's batch mix: Jobs drawn per machine
@@ -300,6 +315,21 @@ func (s *Spec) Validate() error {
 	}
 	if !isEnvelopeProc(s.Budget.Kind) {
 		return fmt.Errorf("scenario %s: budget kind %q is not constant, step or diurnal", s.Name, s.Budget.Kind)
+	}
+	if s.Share != nil {
+		sh := s.Share
+		if sh.SyncPeriod <= 0 {
+			return fmt.Errorf("scenario %s: share syncperiod must be positive, got %d", s.Name, sh.SyncPeriod)
+		}
+		if d := sh.Decay.Value(); d <= 0 || d >= 1 {
+			return fmt.Errorf("scenario %s: share decay %s out of (0, 1)", s.Name, sh.Decay)
+		}
+		if sh.FineTune <= 0 {
+			return fmt.Errorf("scenario %s: share finetune must be positive, got %d", s.Name, sh.FineTune)
+		}
+		if sh.Confidence <= 0 {
+			return fmt.Errorf("scenario %s: share confidence must be positive, got %d", s.Name, sh.Confidence)
+		}
 	}
 	if len(s.Clients) == 0 {
 		return fmt.Errorf("scenario %s: no traffic clients", s.Name)

@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/fstest"
+)
+
+// replaySpec wraps one trace clause in a minimal spec.
+func replaySpec(file string) []byte {
+	return []byte("scenario replay\nclient primary {\n  arrival trace file=" + file + " client=web\n}\n")
+}
+
+func compileReplay(t *testing.T, fsys fstest.MapFS, file string) error {
+	t.Helper()
+	s, err := Parse(replaySpec(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := stdOpts
+	opts.FS = fsys
+	_, err = Compile(s, opts)
+	return err
+}
+
+// TestTraceReplayRejectsEmptyFile: an empty (or whitespace-only) CSV
+// is refused with the file named, before the CSV reader can turn it
+// into a vaguer "no rows" failure.
+func TestTraceReplayRejectsEmptyFile(t *testing.T) {
+	fsys := fstest.MapFS{
+		"traces/empty.csv": &fstest.MapFile{Data: []byte("")},
+		"traces/blank.csv": &fstest.MapFile{Data: []byte("\n  \n\n")},
+	}
+	for _, file := range []string{"traces/empty.csv", "traces/blank.csv"} {
+		err := compileReplay(t, fsys, file)
+		if err == nil {
+			t.Fatalf("%s: empty trace compiled", file)
+		}
+		if !strings.Contains(err.Error(), file) || !strings.Contains(err.Error(), "empty") {
+			t.Errorf("%s: error %q should name the file and say it is empty", file, err)
+		}
+	}
+}
+
+// TestTraceReplayRejectsSingleRow: one data row replays as a flat
+// constant — almost always a broken export — so it is refused with
+// the file named.
+func TestTraceReplayRejectsSingleRow(t *testing.T) {
+	fsys := fstest.MapFS{
+		"traces/one.csv":    &fstest.MapFile{Data: []byte("0,web,100\n")},
+		"traces/header.csv": &fstest.MapFile{Data: []byte("timestamp,client,qps\n0.4,web,250\n")},
+	}
+	for _, file := range []string{"traces/one.csv", "traces/header.csv"} {
+		err := compileReplay(t, fsys, file)
+		if err == nil {
+			t.Fatalf("%s: single-row trace compiled", file)
+		}
+		if !strings.Contains(err.Error(), file) || !strings.Contains(err.Error(), "at least 2") {
+			t.Errorf("%s: error %q should name the file and the 2-row floor", file, err)
+		}
+	}
+}
+
+// TestTraceReplayDuplicateTimestamp pins the documented tie rule:
+// same-timestamp rows keep file order and the later row wins — its
+// predecessor's segment collapses to zero length.
+func TestTraceReplayDuplicateTimestamp(t *testing.T) {
+	fsys := fstest.MapFS{
+		"traces/dup.csv": &fstest.MapFile{Data: []byte("0,web,100\n0.5,web,200\n0.5,web,400\n")},
+	}
+	opts := stdOpts
+	opts.FS = fsys
+	opts.Slices = 12
+	c := mustCompile(t, string(replaySpec("traces/dup.csv")), opts)
+	load := c.Load // clause fraction 1 over the run load
+	// Quantum [0.4, 0.5) still sees the first rate, normalised by the
+	// winning peak 400.
+	if got, want := c.LoadPat(0.4), load*(100.0/400.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("pre-step quantum = %v, want %v", got, want)
+	}
+	// Quantum [0.5, 0.6): the later duplicate (400) wins outright; the
+	// 200 row holds for a zero-length interval and contributes nothing.
+	if got, want := c.LoadPat(0.5), load; math.Abs(got-want) > 1e-12 {
+		t.Errorf("duplicate-timestamp quantum = %v, want the later row's %v", got, want)
+	}
+}

@@ -137,6 +137,21 @@ type Params struct {
 	FactorMinObs int
 	// Seed drives the random initialisation.
 	Seed uint64
+	// Warm seeds the model from previously trained factors (a fleet
+	// aggregate from the model-sharing plane) instead of random or SVD
+	// initialisation: μ, biases and both factor matrices start at the
+	// warm state, so the model's first prediction is the fleet's and
+	// local SGD sweeps only fine-tune it. Factors whose geometry or
+	// value transform does not match the matrix are ignored and the
+	// cold init runs as usual. Rows frozen by FactorMinObs keep their
+	// warm factor vectors rather than being zeroed — carrying the
+	// fleet's knowledge for locally under-observed rows is the point
+	// of warm-starting.
+	Warm *Factors
+	// WarmIters, when positive and Warm is applied, overrides MaxIter:
+	// the per-machine fine-tune sweep count, the cheap end of the
+	// accuracy-vs-staleness knob.
+	WarmIters int
 }
 
 func (p Params) withDefaults() Params {
@@ -202,6 +217,11 @@ type obs struct {
 }
 
 func reconstruct(m *Matrix, p Params, parallel bool) *Prediction {
+	pred, _ := reconstructFull(m, p, parallel, false)
+	return pred
+}
+
+func reconstructFull(m *Matrix, p Params, parallel, capture bool) (*Prediction, *Factors) {
 	// Gather observations, transformed if requested.
 	var entries []obs
 	sum := 0.0
@@ -220,21 +240,44 @@ func reconstruct(m *Matrix, p Params, parallel bool) *Prediction {
 	}
 	pred := &Prediction{Rows: m.Rows, Cols: m.Cols, Observed: len(entries), vals: make([]float64, m.Rows*m.Cols)}
 	if len(entries) == 0 {
-		return pred
+		return pred, nil
 	}
-	pred.Iters = p.MaxIter
-	mu := sum / float64(len(entries))
 
 	f := p.Factors
+	warm := p.Warm
+	if warm != nil && !warm.Compatible(m.Rows, m.Cols, f, p.LogSpace) {
+		warm = nil
+	}
+	if warm != nil && p.WarmIters > 0 {
+		p.MaxIter = p.WarmIters
+	}
+	pred.Iters = p.MaxIter
+
+	var mu float64
+	if warm != nil {
+		// Keep the fleet model's reference level: biases and factors
+		// are offsets around the μ they were trained with, and local
+		// sweeps re-centre through the biases if local reality drifts.
+		mu = warm.Mu
+	} else {
+		mu = sum / float64(len(entries))
+	}
+
 	q := make([]float64, m.Rows*f) // row factors
 	pc := make([]float64, m.Cols*f)
 	rowBias := make([]float64, m.Rows)
 	colBias := make([]float64, m.Cols)
 
 	r := rng.New(p.Seed)
-	if p.SVDInit {
+	switch {
+	case warm != nil:
+		copy(q, warm.Q)
+		copy(pc, warm.P)
+		copy(rowBias, warm.RowBias)
+		copy(colBias, warm.ColBias)
+	case p.SVDInit:
 		svdInit(m, p, mu, q, pc)
-	} else if f > 0 { // f == 0 leaves the factor vectors empty; no init needed
+	case f > 0: // f == 0 leaves the factor vectors empty; no init needed
 		scale := 0.1 / math.Sqrt(float64(f))
 		for i := range q {
 			q[i] = scale * r.Norm()
@@ -253,8 +296,10 @@ func reconstruct(m *Matrix, p Params, parallel bool) *Prediction {
 		for i, n := range counts {
 			if n < p.FactorMinObs {
 				biasOnly[i] = true
-				for k := 0; k < f; k++ {
-					q[i*f+k] = 0
+				if warm == nil {
+					for k := 0; k < f; k++ {
+						q[i*f+k] = 0
+					}
 				}
 			}
 		}
@@ -287,7 +332,21 @@ func reconstruct(m *Matrix, p Params, parallel bool) *Prediction {
 			pred.vals[i*m.Cols+j] = v
 		}
 	}
-	return pred
+	var fac *Factors
+	if capture {
+		fac = &Factors{
+			Rows: m.Rows, Cols: m.Cols, Rank: f,
+			Mu:       mu,
+			Q:        q,
+			P:        pc,
+			RowBias:  rowBias,
+			ColBias:  colBias,
+			Iters:    pred.Iters,
+			Observed: pred.Observed,
+			LogSpace: p.LogSpace,
+		}
+	}
+	return pred, fac
 }
 
 func dotf(a, b []float64) float64 {
