@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench chaos fleet ops trace bench-obs bench-decide scenario bench-scenario warmstart bench-warmstart lint lint-json fmt ci
+.PHONY: build test race vet bench chaos fleet ops trace bench-obs bench-decide scenario bench-scenario warmstart bench-warmstart hotpath bench-hotpath bench-all race-hot lint lint-json fmt ci
 
 build:
 	$(GO) build ./...
@@ -90,3 +90,24 @@ bench-decide:
 bench-obs:
 	$(GO) run ./cmd/fleet -seed 1 -machines 3 -slices 10 -load 0.7 -cap 0.65 \
 		-trace /dev/null -o BENCH_obs.json
+
+# Run the per-quantum fast-plane audit to stdout, followed by the
+# wall-clock fleet throughput sweep (DESIGN.md §15, EXPERIMENTS.md).
+hotpath:
+	$(GO) run ./cmd/hotpath -sweep
+
+# Regenerate the seeded fast-plane audit reference report.
+bench-hotpath:
+	$(GO) run ./cmd/hotpath -o BENCH_hotpath.json
+
+# Race-detect the hot-path packages plus the pipelined driver — the
+# code the fast plane touches — without paying for the full -race run.
+race-hot:
+	$(GO) test -race ./internal/perf/ ./internal/qsim/ ./internal/sim/ ./internal/harness/ ./internal/fleet/ ./cmd/hotpath/
+
+# Re-check every seeded BENCH_*.json byte-regression gate in one go:
+# each reference report is regenerated in-process by its package's
+# tests and byte-compared against the checked-in artifact.
+bench-all:
+	$(GO) test ./cmd/chaos/ ./cmd/decide/ ./cmd/fleet/ ./cmd/hotpath/ \
+		./cmd/ops/ ./cmd/scenario/ ./cmd/warmstart/ ./experiments/

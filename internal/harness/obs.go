@@ -84,4 +84,27 @@ func (d *Driver) emitSliceTelemetry(rec *SliceRecord) {
 	for _, k := range rec.FaultKinds {
 		c.Add(obs.MetricFaultSlices, obs.Label("kind", k), 1)
 	}
+	d.emitHotpathTelemetry(c)
+}
+
+// emitHotpathTelemetry folds the fast-plane counters — surface-table
+// builds and lookups from the machine, pipeline overlap quanta from
+// the driver — into per-slice metric deltas. Counts are deterministic
+// functions of the simulated work, so the series stay byte-stable
+// across GOMAXPROCS like every other metric. (Overlap cannot advance
+// while a collector is attached — pipelining is gated off under
+// tracing to keep event order run-independent — but the delta is
+// emitted symmetrically in case that gate ever loosens.)
+func (d *Driver) emitHotpathTelemetry(c *obs.Scope) {
+	builds, lookups := d.m.SurfaceStats()
+	if delta := builds - d.lastBuilds; delta > 0 {
+		c.Add(obs.MetricHotpathTableBuilds, obs.NoLabels, float64(delta))
+	}
+	if delta := lookups - d.lastLookups; delta > 0 {
+		c.Add(obs.MetricHotpathLookups, obs.NoLabels, float64(delta))
+	}
+	if delta := d.overlapQuanta - d.lastOverlap; delta > 0 {
+		c.Add(obs.MetricHotpathOverlap, obs.NoLabels, float64(delta))
+	}
+	d.lastBuilds, d.lastLookups, d.lastOverlap = builds, lookups, d.overlapQuanta
 }

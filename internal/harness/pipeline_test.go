@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/obs"
+	"cuttlesys/internal/sim"
+)
+
+// fixedScheduler is staticScheduler with the FixedOverhead contract:
+// it promises its overhead up front and Decide always charges it.
+type fixedScheduler struct{ staticScheduler }
+
+func (s *fixedScheduler) DecisionOverheadSec() float64 { return s.overhead }
+
+// lyingScheduler promises one overhead but charges another — the
+// contract violation the driver must turn into an error, since the
+// hold phase already ran for the promised duration.
+type lyingScheduler struct{ staticScheduler }
+
+func (s *lyingScheduler) DecisionOverheadSec() float64 { return s.overhead / 2 }
+
+// driveSlices steps a fresh machine/scheduler pair through n slices at
+// a constant load, mirroring runImpl's per-slice setup so the records
+// are comparable across Params settings.
+func driveSlices(t *testing.T, s MultiScheduler, n int, p Params) (*Result, uint64) {
+	t.Helper()
+	m := testMachine(t)
+	d, err := NewDriver(m, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Detach()
+	d.SetParams(p)
+	maxPower := m.MaxPowerW()
+	res := &Result{Scheduler: s.Name()}
+	for i := 0; i < n; i++ {
+		qps := 0.5 * m.LC().MaxQPS
+		rec, err := d.StepSlice([]float64{qps}, 0.5, 0.8*maxPower)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Slices = append(res.Slices, rec)
+	}
+	return res, d.OverlapQuanta()
+}
+
+func mkFixed(overhead float64) *fixedScheduler {
+	return &fixedScheduler{staticScheduler{
+		alloc:    sim.Uniform(16, true, 16, config.Widest, config.OneWay),
+		profiles: []Phase{{Dur: 0.001, Alloc: sim.Uniform(16, true, 16, config.Narrowest, config.OneWay)}},
+		overhead: overhead,
+	}}
+}
+
+// TestPipelineBitIdenticalToSerial is the core determinism contract of
+// Params.Pipeline: overlapping the decision compute with the hold
+// phase must leave every slice record byte-identical to the serial
+// schedule, because the hold interval is identical and the two
+// goroutines share no state until the join.
+func TestPipelineBitIdenticalToSerial(t *testing.T) {
+	const slices = 6
+	serial, overlapS := driveSlices(t, Single(mkFixed(0.0061)), slices, Params{})
+	piped, overlapP := driveSlices(t, Single(mkFixed(0.0061)), slices, Params{Pipeline: true})
+	if overlapS != 0 {
+		t.Fatalf("serial run reported %d overlap quanta", overlapS)
+	}
+	// Slice 0 has no previous allocation to hold, so it runs serial.
+	if want := uint64(slices - 1); overlapP != want {
+		t.Fatalf("pipelined run overlapped %d quanta, want %d", overlapP, want)
+	}
+	if !reflect.DeepEqual(serial.Slices, piped.Slices) {
+		t.Fatal("pipelined slice records diverged from the serial schedule")
+	}
+}
+
+// TestPipelineDeterministicAcrossGOMAXPROCS pins that the overlap is
+// scheduling-invariant: the join point, not the Go scheduler, orders
+// every observable effect.
+func TestPipelineDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	ambient, _ := driveSlices(t, Single(mkFixed(0.0061)), 5, Params{Pipeline: true})
+	prev := runtime.GOMAXPROCS(1)
+	pinned, _ := driveSlices(t, Single(mkFixed(0.0061)), 5, Params{Pipeline: true})
+	runtime.GOMAXPROCS(prev)
+	if !reflect.DeepEqual(ambient.Slices, pinned.Slices) {
+		t.Fatalf("pipelined run differs between GOMAXPROCS=%d and GOMAXPROCS=1", prev)
+	}
+}
+
+// TestPipelineOverheadMismatchError: a FixedOverhead scheduler whose
+// Decide charges a different overhead than it promised must surface as
+// an error — the hold already ran for the promised duration, so the
+// slice timeline would silently desynchronise otherwise.
+func TestPipelineOverheadMismatchError(t *testing.T) {
+	s := &lyingScheduler{staticScheduler{
+		alloc:    sim.Uniform(16, true, 16, config.Widest, config.OneWay),
+		overhead: 0.008,
+	}}
+	m := testMachine(t)
+	d, err := NewDriver(m, Single(s), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Detach()
+	d.SetParams(Params{Pipeline: true})
+	qps := []float64{0.5 * m.LC().MaxQPS}
+	// Slice 0 is serial (no previous allocation) and succeeds.
+	if _, err := d.StepSlice(qps, 0.5, 0.8*m.MaxPowerW()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.StepSlice(qps, 0.5, 0.8*m.MaxPowerW())
+	if err == nil || !strings.Contains(err.Error(), "promised") {
+		t.Fatalf("mismatched overhead: got err %v, want promise-violation error", err)
+	}
+}
+
+// TestPipelineGateRequiresFixedOverhead: a scheduler that does not
+// implement FixedOverhead (the Single adapter reports 0) never
+// pipelines, even with the knob on.
+func TestPipelineGateRequiresFixedOverhead(t *testing.T) {
+	s := &staticScheduler{
+		alloc:    sim.Uniform(16, true, 16, config.Widest, config.OneWay),
+		overhead: 0.0061,
+	}
+	_, overlap := driveSlices(t, Single(s), 4, Params{Pipeline: true})
+	if overlap != 0 {
+		t.Fatalf("non-FixedOverhead scheduler overlapped %d quanta, want 0", overlap)
+	}
+}
+
+// TestPipelineGateOffUnderTrace: with a collector attached the driver
+// must fall back to the serial schedule — concurrent trace emission
+// would make event order run-dependent.
+func TestPipelineGateOffUnderTrace(t *testing.T) {
+	m := testMachine(t)
+	d, err := NewDriver(m, Single(mkFixed(0.0061)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Detach()
+	d.SetParams(Params{Pipeline: true})
+	d.SetCollector(obs.NewRecorder())
+	qps := []float64{0.5 * m.LC().MaxQPS}
+	for i := 0; i < 3; i++ {
+		if _, err := d.StepSlice(qps, 0.5, 0.8*m.MaxPowerW()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.OverlapQuanta(); got != 0 {
+		t.Fatalf("traced run overlapped %d quanta, want 0", got)
+	}
+}
+
+// TestHotpathTelemetryEmitted: a traced run reports the machine's
+// surface-table counters as monotone metric series.
+func TestHotpathTelemetryEmitted(t *testing.T) {
+	m := testMachine(t)
+	d, err := NewDriver(m, Single(mkFixed(0.0061)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Detach()
+	rec := obs.NewRecorder()
+	d.SetCollector(rec)
+	qps := []float64{0.5 * m.LC().MaxQPS}
+	for i := 0; i < 3; i++ {
+		if _, err := d.StepSlice(qps, 0.5, 0.8*m.MaxPowerW()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := rec.Registry().Snapshot()
+	var lookups float64
+	found := false
+	for _, s := range snap {
+		if s.Name == obs.MetricHotpathLookups {
+			lookups, found = s.Value, true
+		}
+	}
+	if !found || lookups <= 0 {
+		t.Fatalf("hotpath lookup metric missing or zero (found=%v, v=%v)", found, lookups)
+	}
+	_, machineLookups := m.SurfaceStats()
+	if lookups != float64(machineLookups) {
+		t.Fatalf("metric reports %v lookups, machine counted %d", lookups, machineLookups)
+	}
+}

@@ -134,4 +134,12 @@ const (
 	MetricShareWarmStarts = "cuttlesys_share_warmstarts_total"
 	MetricShareVersion    = "cuttlesys_share_version"
 	MetricShareStaleness  = "cuttlesys_share_staleness_slices"
+
+	// Hot-path fast-plane counters (per-machine scope). Table builds
+	// and lookups come from the machine's perf.SurfaceTable; overlap
+	// counts slices whose decision compute ran concurrently with the
+	// hold phase (harness.Params.Pipeline).
+	MetricHotpathTableBuilds = "cuttlesys_hotpath_table_builds_total"
+	MetricHotpathLookups     = "cuttlesys_hotpath_lookups_total"
+	MetricHotpathOverlap     = "cuttlesys_hotpath_overlap_quanta_total"
 )

@@ -1,0 +1,235 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"cuttlesys/internal/config"
+	"cuttlesys/internal/workload"
+)
+
+// inflations spans the operating range: uncontended, mid-contention
+// (the characterisation default 1.35), and the saturation cap.
+var inflations = []float64{1, 1.35, 6}
+
+// TestSurfaceTableEquivalence asserts exact float64 equality between
+// every table lookup and the pointwise model over the full seeded
+// grid: all applications × 27 core configs × 4 way allocations × 3
+// inflation values, for both model variants.
+func TestSurfaceTableEquivalence(t *testing.T) {
+	apps := workload.All()
+	for _, reconf := range []bool{true, false} {
+		m := New(reconf)
+		tbl := NewSurfaceTable(m, apps)
+		for _, infl := range inflations {
+			tbl.Build(infl)
+			for a, app := range apps {
+				for ci := 0; ci < config.NumCoreConfigs; ci++ {
+					c := config.CoreByIndex(ci)
+					for wi, alloc := range config.CacheAllocs {
+						ways := alloc.Ways()
+						resIdx := ci*config.NumCacheAllocs + wi
+
+						wantIPC := m.IPC(app, c, ways, infl)
+						if got := tbl.IPC(a, resIdx); math.Float64bits(got) != math.Float64bits(wantIPC) {
+							t.Fatalf("reconf=%v %s %v/%vw infl=%v: grid IPC %v != %v", reconf, app.Name, c, ways, infl, got, wantIPC)
+						}
+						if got := tbl.IPCAt(a, ci, wi, infl, m.FreqGHz()); math.Float64bits(got) != math.Float64bits(wantIPC) {
+							t.Fatalf("reconf=%v %s %v/%vw infl=%v: point IPC %v != %v", reconf, app.Name, c, ways, infl, got, wantIPC)
+						}
+						wantBIPS := m.BIPS(app, c, ways, infl)
+						if got := tbl.BIPS(a, resIdx); math.Float64bits(got) != math.Float64bits(wantBIPS) {
+							t.Fatalf("%s: BIPS %v != %v", app.Name, got, wantBIPS)
+						}
+						wantTr := m.DRAMTrafficGBs(app, c, ways, infl)
+						if got := tbl.DRAMTrafficGBs(a, resIdx); math.Float64bits(got) != math.Float64bits(wantTr) {
+							t.Fatalf("%s: traffic %v != %v", app.Name, got, wantTr)
+						}
+						if got := tbl.TrafficAt(a, ci, wi, infl); math.Float64bits(got) != math.Float64bits(wantTr) {
+							t.Fatalf("%s: point traffic %v != %v", app.Name, got, wantTr)
+						}
+						wantMPI := app.MemFrac * app.L1MissRate * app.MissRatio(ways)
+						if got := tbl.MissPerInstr(a, wi); math.Float64bits(got) != math.Float64bits(wantMPI) {
+							t.Fatalf("%s: missPerInstr %v != %v", app.Name, got, wantMPI)
+						}
+						if app.IsLC() && app.MaxQPS > 0 {
+							wantSvc := m.ServiceTime(app, c, ways, infl)
+							if got := tbl.ServiceTimeSec(a, resIdx); math.Float64bits(got) != math.Float64bits(wantSvc) {
+								t.Fatalf("%s: svc time %v != %v", app.Name, got, wantSvc)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSurfaceTableDVFSEquivalence covers IPCAt at non-nominal clocks
+// (the DVFS baseline and fail-slow de-rating paths).
+func TestSurfaceTableDVFSEquivalence(t *testing.T) {
+	apps := workload.All()
+	m := New(true)
+	tbl := NewSurfaceTable(m, apps)
+	for _, freq := range []float64{1.2, 2.0, 3.6, m.FreqGHz()} {
+		for a, app := range apps {
+			for ci := 0; ci < config.NumCoreConfigs; ci += 5 {
+				c := config.CoreByIndex(ci)
+				for wi, alloc := range config.CacheAllocs {
+					want := m.IPCAtFreq(app, c, alloc.Ways(), 1.35, freq)
+					if got := tbl.IPCAt(a, ci, wi, 1.35, freq); math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("%s %v/%vw @%vGHz: %v != %v", app.Name, c, alloc.Ways(), freq, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSurfaceTableMonotone property-checks the modeled surfaces the
+// runtime's search depends on: IPC is non-decreasing in each section
+// width and in cache ways.
+func TestSurfaceTableMonotone(t *testing.T) {
+	apps := workload.All()
+	m := New(true)
+	tbl := NewSurfaceTable(m, apps)
+	tbl.Build(1.35)
+	for a, app := range apps {
+		for ci := 0; ci < config.NumCoreConfigs; ci++ {
+			c := config.CoreByIndex(ci)
+			for wi := 0; wi < config.NumCacheAllocs; wi++ {
+				cur := tbl.IPC(a, ci*config.NumCacheAllocs+wi)
+				// Non-decreasing in ways.
+				if wi+1 < config.NumCacheAllocs {
+					next := tbl.IPC(a, ci*config.NumCacheAllocs+wi+1)
+					if next < cur {
+						t.Fatalf("%s %v: IPC decreases in ways (%v → %v)", app.Name, c, cur, next)
+					}
+				}
+				// Non-decreasing when widening any one section.
+				for _, wider := range widerCores(c) {
+					next := tbl.IPC(a, wider.Index()*config.NumCacheAllocs+wi)
+					if next < cur {
+						t.Fatalf("%s: IPC decreases widening %v → %v (%v → %v)", app.Name, c, wider, cur, next)
+					}
+				}
+			}
+		}
+	}
+}
+
+// widerCores returns the configurations reachable by widening exactly
+// one section of c by one step.
+func widerCores(c config.Core) []config.Core {
+	var out []config.Core
+	step := func(w config.Width) (config.Width, bool) {
+		switch w {
+		case config.W2:
+			return config.W4, true
+		case config.W4:
+			return config.W6, true
+		}
+		return w, false
+	}
+	if fe, ok := step(c.FE); ok {
+		out = append(out, config.Core{FE: fe, BE: c.BE, LS: c.LS})
+	}
+	if be, ok := step(c.BE); ok {
+		out = append(out, config.Core{FE: c.FE, BE: be, LS: c.LS})
+	}
+	if ls, ok := step(c.LS); ok {
+		out = append(out, config.Core{FE: c.FE, BE: c.BE, LS: ls})
+	}
+	return out
+}
+
+// TestSurfaceTableLookupsZeroAlloc pins the acceptance criterion that
+// steady-state surface lookups allocate nothing.
+func TestSurfaceTableLookupsZeroAlloc(t *testing.T) {
+	apps := workload.All()
+	m := New(true)
+	tbl := NewSurfaceTable(m, apps)
+	tbl.Build(1.35)
+	allocs := testing.AllocsPerRun(100, func() {
+		sink := 0.0
+		for a := range apps {
+			sink += tbl.IPC(a, 53)
+			sink += tbl.BIPS(a, 53)
+			sink += tbl.DRAMTrafficGBs(a, 53)
+			sink += tbl.ServiceTimeSec(a, 53)
+			sink += tbl.IPCAt(a, 13, 2, 1.2, 3.93)
+			sink += tbl.TrafficAt(a, 13, 2, 1.2)
+			sink += tbl.MissPerInstr(a, 2)
+			sink += float64(WayIndex(2))
+		}
+		if sink == math.Inf(1) {
+			t.Error("unexpected Inf")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("surface lookups allocate %v per run, want 0", allocs)
+	}
+}
+
+// TestSurfaceTableRebuild checks Build re-renders for a new inflation
+// and counts its work.
+func TestSurfaceTableRebuild(t *testing.T) {
+	apps := workload.SPEC()[:4]
+	m := New(true)
+	tbl := NewSurfaceTable(m, apps)
+	b0, _ := tbl.Stats()
+	if b0 != 1 {
+		t.Fatalf("construction ran %d builds, want 1", b0)
+	}
+	v1 := tbl.IPC(0, 0)
+	tbl.Build(3)
+	if got := tbl.Inflation(); got != 3 {
+		t.Fatalf("Inflation() = %v, want 3", got)
+	}
+	v3 := tbl.IPC(0, 0)
+	if v3 >= v1 {
+		t.Fatalf("IPC did not drop under inflation (%v → %v)", v1, v3)
+	}
+	b, l := tbl.Stats()
+	if b != 2 || l < 2 {
+		t.Fatalf("Stats() = (%d, %d), want 2 builds and ≥2 lookups", b, l)
+	}
+	// Sub-unit inflation clamps to 1, as the model does.
+	tbl.Build(0.5)
+	if got, want := tbl.IPC(0, 0), m.IPC(apps[0], config.CoreByIndex(0), config.CacheAllocs[0].Ways(), 0.5); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("clamped build: %v != %v", got, want)
+	}
+}
+
+// TestWayIndex pins the canonical allocation ranks and the fractional
+// fallback.
+func TestWayIndex(t *testing.T) {
+	for i, alloc := range config.CacheAllocs {
+		if got := WayIndex(alloc.Ways()); got != i {
+			t.Fatalf("WayIndex(%v) = %d, want %d", alloc.Ways(), got, i)
+		}
+	}
+	for _, w := range []float64{0, 0.7, 1.5, 3, 32, math.NaN()} {
+		if got := WayIndex(w); got != -1 {
+			t.Fatalf("WayIndex(%v) = %d, want -1", w, got)
+		}
+	}
+}
+
+func BenchmarkSurfaceLookup(b *testing.B) {
+	apps := workload.All()
+	m := New(true)
+	tbl := NewSurfaceTable(m, apps)
+	app := apps[0]
+	c := config.CoreByIndex(13)
+	b.Run("point-model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.IPCAtFreq(app, c, 2, 1.2, 3.9)
+		}
+	})
+	b.Run("table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tbl.IPCAt(0, 13, 2, 1.2, 3.9)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package qsim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestP99AnalyticBatchEquivalence sweeps the operating envelope —
+// light load through past saturation, tight and dispersed demand —
+// and demands exact float64 equality between the batch and the scalar
+// closed form at every candidate server count.
+func TestP99AnalyticBatchEquivalence(t *testing.T) {
+	ks := make([]int, 64)
+	for i := range ks {
+		ks[i] = i + 1
+	}
+	for _, meanSvc := range []float64{0.2e-3, 0.7e-3, 3e-3} {
+		for _, sigma := range []float64{0, 0.3, 0.8} {
+			for _, load := range []float64{0, 0.1, 0.6, 0.95, 1.1} {
+				qps := load * 16 / meanSvc
+				got := P99AnalyticBatch(ks, qps, meanSvc, sigma, nil)
+				for i, k := range ks {
+					want := P99Analytic(k, qps, meanSvc, sigma)
+					if math.Float64bits(got[i]) != math.Float64bits(want) {
+						t.Fatalf("k=%d qps=%v svc=%v sigma=%v: batch %v != scalar %v",
+							k, qps, meanSvc, sigma, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestP99AnalyticBatchOutReuse checks the caller-provided buffer is
+// written in place (the alloc-free sweep mode) and unsorted, repeated
+// candidate lists work.
+func TestP99AnalyticBatchOutReuse(t *testing.T) {
+	ks := []int{8, 1, 32, 8}
+	out := make([]float64, 8)
+	got := P99AnalyticBatch(ks, 5000, 0.7e-3, 0.4, out)
+	if len(got) != len(ks) || &got[0] != &out[0] {
+		t.Fatal("batch did not write into the caller's buffer")
+	}
+	if math.Float64bits(got[0]) != math.Float64bits(got[3]) {
+		t.Fatal("repeated candidate produced different values")
+	}
+	for i, k := range ks {
+		want := P99Analytic(k, 5000, 0.7e-3, 0.4)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("k=%d: %v != %v", k, got[i], want)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		P99AnalyticBatch(ks[:2], 5000, 0.7e-3, 0.4, out)
+	})
+	// Only the shared Erlang prefix may allocate; with small maxK the
+	// runtime may still place it on the heap, so just bound it.
+	if allocs > 1 {
+		t.Fatalf("batch with caller buffer allocates %v per run, want ≤1", allocs)
+	}
+}
+
+func TestP99AnalyticBatchPanics(t *testing.T) {
+	for _, bad := range []func(){
+		func() { P99AnalyticBatch([]int{1}, 100, 0, 0.3, nil) },
+		func() { P99AnalyticBatch([]int{0}, 100, 1e-3, 0.3, nil) },
+		func() { P99AnalyticBatch([]int{1, 2}, 100, 1e-3, 0.3, make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid batch parameters did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func BenchmarkP99Sweep(b *testing.B) {
+	ks := make([]int, 32)
+	for i := range ks {
+		ks[i] = i + 1
+	}
+	out := make([]float64, len(ks))
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, k := range ks {
+				out[j] = P99Analytic(k, 5000, 0.7e-3, 0.4)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			P99AnalyticBatch(ks, 5000, 0.7e-3, 0.4, out)
+		}
+	})
+}

@@ -23,7 +23,6 @@
 package qsim
 
 import (
-	"container/heap"
 	"math"
 
 	"cuttlesys/internal/rng"
@@ -44,7 +43,7 @@ func NewService(seed uint64, k int) *Service {
 	}
 	s := &Service{r: rng.New(seed)}
 	s.freeAt = make(freeHeap, k)
-	heap.Init(&s.freeAt)
+	s.freeAt.init()
 	return s
 }
 
@@ -68,8 +67,21 @@ func (s *Service) SetServers(k int) {
 		s.freeAt.removeLatest()
 	}
 	for len(s.freeAt) < k {
-		heap.Push(&s.freeAt, s.now)
+		s.freeAt.push(s.now)
 	}
+}
+
+// Advance moves the simulation clock forward dur seconds without
+// offering arrivals — the zero-throughput escape hatch. A configuration
+// whose service time is infinite completes nothing; simulating arrivals
+// against it would park +Inf in the server heap and poison every later
+// window, so the machine advances the clock instead and scores the
+// window as violated. dur must be positive.
+func (s *Service) Advance(dur float64) {
+	if dur <= 0 {
+		panic("qsim: Advance with non-positive duration")
+	}
+	s.now += dur
 }
 
 // Step simulates the window [now, now+dur) with Poisson arrivals at
@@ -127,31 +139,76 @@ func (s *Service) Reset() {
 	for i := range s.freeAt {
 		s.freeAt[i] = s.now
 	}
-	heap.Init(&s.freeAt)
+	s.freeAt.init()
 }
 
-// freeHeap is a min-heap of server next-free times.
+// freeHeap is a direct float64 min-heap of server next-free times. It
+// used to be a container/heap implementation; the interface{} boxing on
+// Push/Pop allocated on every server-count change and the dynamic
+// dispatch sat on the per-query replaceMin path. The sift procedures
+// below reproduce container/heap's up/down element-for-element (same
+// comparisons, same swap order), so every heap reaches exactly the
+// states the boxed version reached and Step's output is bit-identical.
 type freeHeap []float64
 
-func (h freeHeap) Len() int            { return len(h) }
-func (h freeHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h freeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *freeHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
-func (h *freeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+// down sifts h[i0] toward the leaves within h[:n]; it reports whether
+// the element moved. The loop mirrors container/heap's down.
+func (h freeHeap) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2] < h[j1] {
+			j = j2 // right child
+		}
+		if !(h[j] < h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return i > i0
+}
+
+// up sifts h[j] toward the root, mirroring container/heap's up.
+func (h freeHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(h[j] < h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+// init establishes heap order over the whole slice.
+func (h freeHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
+}
+
+// push adds a server next-free time.
+func (h *freeHeap) push(v float64) {
+	*h = append(*h, v)
+	h.up(len(*h) - 1)
 }
 
 // replaceMin replaces the minimum element and restores heap order.
+//
+//hot:path once per simulated query
 func (h freeHeap) replaceMin(v float64) {
 	h[0] = v
-	heap.Fix(&h, 0)
+	h.down(0, len(h))
 }
 
-// removeLatest removes the server that frees last.
+// removeLatest removes the server that frees last, mirroring
+// container/heap's Remove on the max element's index.
 func (h *freeHeap) removeLatest() {
 	idx := 0
 	for i, v := range *h {
@@ -159,7 +216,14 @@ func (h *freeHeap) removeLatest() {
 			idx = i
 		}
 	}
-	heap.Remove(h, idx)
+	n := len(*h) - 1
+	if n != idx {
+		(*h)[idx], (*h)[n] = (*h)[n], (*h)[idx]
+		if !h.down(idx, n) {
+			h.up(idx)
+		}
+	}
+	*h = (*h)[:n]
 }
 
 // P99Analytic approximates the steady-state p99 sojourn time of an
@@ -195,6 +259,79 @@ func P99Analytic(k int, qps, meanSvc, sigma float64) float64 {
 		wq99 = math.Log(pWait/0.01) / decay
 	}
 	return wq99 + svcP99(meanSvc, sigma)
+}
+
+// P99AnalyticBatch evaluates P99Analytic across candidate server
+// counts ks, writing results into out (allocated when nil) and
+// returning it. The Erlang-B recurrence underlying the waiting
+// probability is the scalar path's only per-k loop and is a prefix
+// computation — B(n) depends only on B(n−1) and the offered load — so
+// the batch runs the recurrence once to max(ks) and reads each k's
+// value off the shared sequence. Every per-k tail term replicates the
+// scalar expression verbatim, so out[i] is bit-identical to
+// P99Analytic(ks[i], ...). Cost is O(max(ks) + len(ks)) instead of the
+// scalar sweep's O(Σ ks).
+func P99AnalyticBatch(ks []int, qps, meanSvc, sigma float64, out []float64) []float64 {
+	if meanSvc <= 0 {
+		panic("qsim: P99AnalyticBatch with invalid parameters")
+	}
+	if out == nil {
+		out = make([]float64, len(ks))
+	}
+	if len(out) < len(ks) {
+		panic("qsim: P99AnalyticBatch output shorter than candidate list")
+	}
+	maxK := 0
+	for _, k := range ks {
+		if k <= 0 {
+			panic("qsim: P99AnalyticBatch with invalid parameters")
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	if qps <= 0 {
+		// Idle service: p99 is just the service-time quantile.
+		p := svcP99(meanSvc, sigma)
+		for i := range ks {
+			out[i] = p
+		}
+		return out[:len(ks)]
+	}
+	mu := 1 / meanSvc
+	a := qps * meanSvc
+	// Shared Erlang-B prefix: bAt[n] is the blocking probability after n
+	// recurrence steps, exactly the b the scalar erlangC holds when its
+	// loop counter reaches n.
+	bAt := make([]float64, maxK+1)
+	bAt[0] = 1
+	b := 1.0
+	for n := 1; n <= maxK; n++ {
+		b = a * b / (float64(n) + a*b)
+		bAt[n] = b
+	}
+	svc := svcP99(meanSvc, sigma)
+	for i, k := range ks {
+		rho := qps / (float64(k) * mu)
+		if rho >= 1 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		var pWait float64
+		if a > 0 {
+			// erlangC's own load ratio a/k, not the outer rho: the two
+			// can differ in the last bit and the scalar computes both.
+			rhoB := a / float64(k)
+			pWait = bAt[k] / (1 - rhoB + rhoB*bAt[k])
+		}
+		decay := float64(k)*mu - qps
+		wq99 := 0.0
+		if pWait > 0.01 {
+			wq99 = math.Log(pWait/0.01) / decay
+		}
+		out[i] = wq99 + svc
+	}
+	return out[:len(ks)]
 }
 
 // svcP99 is the p99 of a log-normal service time with mean meanSvc.

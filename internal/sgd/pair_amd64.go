@@ -1,0 +1,19 @@
+//go:build amd64
+
+package sgd
+
+// pairEpoch6 runs one full SGD sweep over the dense rows×cols kernel
+// block with rank-6 factors, two independent surfaces packed per
+// 128-bit lane. Implemented in pair_amd64.s.
+//
+//go:noescape
+func pairEpoch6(a *pairArgs)
+
+// cpuHasAVX reports AVX instruction support with OS-enabled XMM/YMM
+// state (CPUID.1:ECX AVX+OSXSAVE, XCR0 SSE+AVX bits). Implemented in
+// pair_amd64.s.
+func cpuHasAVX() bool
+
+// pairKernelOK gates the paired trainer: the kernel uses VEX-encoded
+// instructions, legal only once the CPU and OS both advertise AVX.
+var pairKernelOK = cpuHasAVX()

@@ -1,0 +1,165 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func pairEpoch6(a *pairArgs)
+//
+// One full SGD sweep (one epoch) over a dense rows*cols block with
+// rank-6 factors, two independent surfaces packed per 128-bit lane.
+// Entry order: rows outer, columns inner — exactly trainSerial's.
+// Every arithmetic step reproduces the serial sweep's association
+// (the dot accumulates left-to-right from zero; factor updates read
+// the pre-update qk/pk on both right-hand sides), so each lane is
+// bit-identical to its own scalar run.
+//
+// Register map: R8=q R9=pc R10=rb R11=cb R12=vals R13=rows R14=cols;
+// X12/X13/X14 = mu/eta/lam pairs; X0–X5 = the current row's six
+// factor pairs, resident across the column sweep.
+TEXT ·pairEpoch6(SB), NOSPLIT, $0-8
+	MOVQ a+0(FP), DI
+	MOVQ 0(DI), R8          // q
+	MOVQ 8(DI), R9          // pc
+	MOVQ 16(DI), R10        // rb
+	MOVQ 24(DI), R11        // cb
+	MOVQ 32(DI), R12        // vals
+	MOVQ 40(DI), R13        // rows
+	MOVQ 48(DI), R14        // cols
+	VMOVUPD 56(DI), X12     // mu pair
+	VMOVUPD 72(DI), X13     // eta pair
+	VMOVUPD 88(DI), X14     // lam pair
+
+	XORQ CX, CX             // row index
+rowloop:
+	CMPQ CX, R13
+	JGE done
+	// qi base = q + CX*96 (6 factors * 2 lanes * 8 bytes)
+	MOVQ CX, AX
+	IMULQ $96, AX
+	LEAQ (R8)(AX*1), SI
+	VMOVUPD 0(SI), X0
+	VMOVUPD 16(SI), X1
+	VMOVUPD 32(SI), X2
+	VMOVUPD 48(SI), X3
+	VMOVUPD 64(SI), X4
+	VMOVUPD 80(SI), X5
+	// rb pair
+	MOVQ CX, AX
+	SHLQ $4, AX
+	LEAQ (R10)(AX*1), BX
+	VMOVUPD 0(BX), X6
+	// vals row base = vals + CX*cols*16
+	MOVQ CX, AX
+	IMULQ R14, AX
+	SHLQ $4, AX
+	LEAQ (R12)(AX*1), DX
+	MOVQ R9, R15            // pj walker
+	MOVQ R11, DI            // cb walker
+
+	XORQ AX, AX             // col index
+colloop:
+	CMPQ AX, R14
+	JGE rowend
+
+	// dot: s = 0; s += qk*pk, serial add order as dotf
+	VXORPD X7, X7, X7
+	VMULPD 0(R15), X0, X8
+	VADDPD X8, X7, X7
+	VMULPD 16(R15), X1, X8
+	VADDPD X8, X7, X7
+	VMULPD 32(R15), X2, X8
+	VADDPD X8, X7, X7
+	VMULPD 48(R15), X3, X8
+	VADDPD X8, X7, X7
+	VMULPD 64(R15), X4, X8
+	VADDPD X8, X7, X7
+	VMULPD 80(R15), X5, X8
+	VADDPD X8, X7, X7
+
+	// err = v - (((mu + rb) + cb) + dot)
+	VADDPD X6, X12, X8
+	VADDPD 0(DI), X8, X8
+	VADDPD X7, X8, X8
+	VMOVUPD 0(DX), X9
+	VSUBPD X8, X9, X9       // X9 = err
+
+	// rb += eta * (err - lam*rb)
+	VMULPD X6, X14, X8
+	VSUBPD X8, X9, X8
+	VMULPD X8, X13, X8
+	VADDPD X8, X6, X6
+
+	// cb += eta * (err - lam*cb)
+	VMOVUPD 0(DI), X10
+	VMULPD X10, X14, X8
+	VSUBPD X8, X9, X8
+	VMULPD X8, X13, X8
+	VADDPD X8, X10, X10
+	VMOVUPD X10, 0(DI)
+
+	// factor updates, k = 0..5:
+	//   qk += eta*(err*pk - lam*qk); pk += eta*(err*qk - lam*pk)
+	// using old qk/pk on both right-hand sides.
+#define FUPD(QK, OFF) \
+	VMOVUPD OFF(R15), X10 \
+	VMULPD X10, X9, X8    \
+	VMULPD QK, X14, X11   \
+	VSUBPD X11, X8, X8    \
+	VMULPD X8, X13, X8    \
+	VMULPD QK, X9, X11    \
+	VMULPD X10, X14, X15  \
+	VSUBPD X15, X11, X11  \
+	VMULPD X11, X13, X11  \
+	VADDPD X8, QK, QK     \
+	VADDPD X11, X10, X10  \
+	VMOVUPD X10, OFF(R15)
+
+	FUPD(X0, 0)
+	FUPD(X1, 16)
+	FUPD(X2, 32)
+	FUPD(X3, 48)
+	FUPD(X4, 64)
+	FUPD(X5, 80)
+
+	ADDQ $96, R15
+	ADDQ $16, DI
+	ADDQ $16, DX
+	INCQ AX
+	JMP colloop
+
+rowend:
+	VMOVUPD X0, 0(SI)
+	VMOVUPD X1, 16(SI)
+	VMOVUPD X2, 32(SI)
+	VMOVUPD X3, 48(SI)
+	VMOVUPD X4, 64(SI)
+	VMOVUPD X5, 80(SI)
+	VMOVUPD X6, 0(BX)
+	INCQ CX
+	JMP rowloop
+
+done:
+	RET
+
+// func cpuHasAVX() bool
+//
+// CPUID.1:ECX must advertise AVX (bit 28) and OSXSAVE (bit 27), and
+// XCR0 must have the SSE and AVX state bits (1 and 2) enabled by the
+// OS, before VEX-encoded instructions are legal.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<28 | 1<<27), BX
+	CMPL BX, $(1<<28 | 1<<27)
+	JNE notavx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE notavx
+	MOVB $1, ret+0(FP)
+	RET
+notavx:
+	MOVB $0, ret+0(FP)
+	RET

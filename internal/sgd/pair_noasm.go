@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package sgd
+
+// pairKernelOK is false without the amd64 assembly kernel; the paired
+// entry points fall back to the per-surface trainers.
+const pairKernelOK = false
+
+func pairEpoch6(a *pairArgs) {
+	panic("sgd: paired SGD kernel is amd64-only")
+}

@@ -221,7 +221,30 @@ func reconstruct(m *Matrix, p Params, parallel bool) *Prediction {
 	return pred
 }
 
-func reconstructFull(m *Matrix, p Params, parallel, capture bool) (*Prediction, *Factors) {
+// trainState is a reconstruction caught between initialisation and
+// training: the gathered observations, the (possibly warm-started)
+// model state, and the effective parameters after warm-iteration
+// override. prepareTraining builds it, a trainer mutates it in place,
+// and finish renders the dense prediction. The split exists so the
+// paired SIMD trainer (pair.go) can reuse the exact serial
+// initialisation and prediction code around its own sweep loop.
+type trainState struct {
+	m        *Matrix
+	p        Params // effective params: MaxIter already warm-overridden
+	entries  []obs  // row-major observation order — the serial sweep order
+	mu       float64
+	f        int
+	q, pc    []float64
+	rowBias  []float64
+	colBias  []float64
+	biasOnly []bool
+	pred     *Prediction
+}
+
+// prepareTraining gathers observations and initialises the model
+// state. When there is nothing to train, st.entries is empty and the
+// caller must return st.pred (all zeros, Iters 0) without training.
+func prepareTraining(m *Matrix, p Params) *trainState {
 	// Gather observations, transformed if requested.
 	var entries []obs
 	sum := 0.0
@@ -239,8 +262,9 @@ func reconstructFull(m *Matrix, p Params, parallel, capture bool) (*Prediction, 
 		}
 	}
 	pred := &Prediction{Rows: m.Rows, Cols: m.Cols, Observed: len(entries), vals: make([]float64, m.Rows*m.Cols)}
+	st := &trainState{m: m, p: p, entries: entries, pred: pred}
 	if len(entries) == 0 {
-		return pred, nil
+		return st
 	}
 
 	f := p.Factors
@@ -305,15 +329,21 @@ func reconstructFull(m *Matrix, p Params, parallel, capture bool) (*Prediction, 
 		}
 	}
 
-	switch {
-	case parallel && p.Deterministic:
-		trainWavefront(entries, p, mu, f, q, pc, rowBias, colBias, biasOnly)
-	case parallel:
-		trainParallel(entries, p, mu, f, m.Rows, q, pc, rowBias, colBias, biasOnly)
-	default:
-		trainSerial(entries, p, mu, f, q, pc, rowBias, colBias, biasOnly)
-	}
+	st.p = p
+	st.mu = mu
+	st.f = f
+	st.q, st.pc = q, pc
+	st.rowBias, st.colBias = rowBias, colBias
+	st.biasOnly = biasOnly
+	return st
+}
 
+// finish renders the dense prediction from the trained state and
+// optionally captures the factor set.
+func (st *trainState) finish(capture bool) (*Prediction, *Factors) {
+	m, p, f := st.m, st.p, st.f
+	mu, q, pc, rowBias, colBias := st.mu, st.q, st.pc, st.rowBias, st.colBias
+	pred := st.pred
 	// Dense prediction; observed entries keep their measured values.
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
@@ -347,6 +377,22 @@ func reconstructFull(m *Matrix, p Params, parallel, capture bool) (*Prediction, 
 		}
 	}
 	return pred, fac
+}
+
+func reconstructFull(m *Matrix, p Params, parallel, capture bool) (*Prediction, *Factors) {
+	st := prepareTraining(m, p)
+	if len(st.entries) == 0 {
+		return st.pred, nil
+	}
+	switch {
+	case parallel && st.p.Deterministic:
+		trainWavefront(st.entries, st.p, st.mu, st.f, st.q, st.pc, st.rowBias, st.colBias, st.biasOnly)
+	case parallel:
+		trainParallel(st.entries, st.p, st.mu, st.f, m.Rows, st.q, st.pc, st.rowBias, st.colBias, st.biasOnly)
+	default:
+		trainSerial(st.entries, st.p, st.mu, st.f, st.q, st.pc, st.rowBias, st.colBias, st.biasOnly)
+	}
+	return st.finish(capture)
 }
 
 func dotf(a, b []float64) float64 {

@@ -48,6 +48,15 @@ type Machine struct {
 	Perf  *perf.Model
 	Power *power.Model
 
+	// tbl batches the performance model over this machine's fixed
+	// application set (batch jobs, then the LC service, then extras):
+	// the bandwidth fixed point and per-phase throughput math read
+	// staged surfaces instead of re-deriving the model per point.
+	// Lookups are bit-identical to the pointwise calls they replace;
+	// non-canonical fractional way counts (unpartitioned LRU sharing)
+	// fall back to the pointwise model.
+	tbl *perf.SurfaceTable
+
 	lc         *workload.Profile
 	batch      []*workload.Profile
 	nCores     int
@@ -127,8 +136,43 @@ func New(spec Spec) *Machine {
 		m.extraSvcs = append(m.extraSvcs, qsim.NewService(spec.Seed+uint64(i)+1, k))
 		m.extraInstr = append(m.extraInstr, m.Perf.QueryInstr(x))
 	}
+	apps := make([]*workload.Profile, 0, len(m.batch)+1+len(m.extraLCs))
+	apps = append(apps, m.batch...)
+	if m.lc != nil {
+		apps = append(apps, m.lc)
+	}
+	apps = append(apps, m.extraLCs...)
+	m.tbl = perf.NewSurfaceTable(m.Perf, apps)
 	return m
 }
+
+// Surface-table application indices: batch job i is app i, the LC
+// service follows the batch block, extras follow the LC service.
+func (m *Machine) lcAppIdx() int         { return len(m.batch) }
+func (m *Machine) extraAppIdx(x int) int { return len(m.batch) + 1 + x }
+
+// batchIPC evaluates a batch job's IPC through the surface table,
+// falling back to the pointwise model for fractional way counts.
+func (m *Machine) batchIPC(i int, c config.Core, ways, inflation, freq float64) float64 {
+	if wi := perf.WayIndex(ways); wi >= 0 {
+		return m.tbl.IPCAt(i, c.Index(), wi, inflation, freq)
+	}
+	return m.Perf.IPCAtFreq(m.batch[i], c, ways, inflation, freq)
+}
+
+// lcIPC is batchIPC for a latency-critical service row (appIdx from
+// lcAppIdx/extraAppIdx, profile for the fallback).
+func (m *Machine) lcIPC(appIdx int, app *workload.Profile, c config.Core, ways, inflation, freq float64) float64 {
+	if wi := perf.WayIndex(ways); wi >= 0 {
+		return m.tbl.IPCAt(appIdx, c.Index(), wi, inflation, freq)
+	}
+	return m.Perf.IPCAtFreq(app, c, ways, inflation, freq)
+}
+
+// SurfaceStats reports the machine's surface-table work counters:
+// staging/Build passes and lookups served. Fuel for the
+// cuttlesys_hotpath_* metrics and the table-vs-point audit.
+func (m *Machine) SurfaceStats() (builds, lookups uint64) { return m.tbl.Stats() }
 
 // ExtraLCs returns the machine's additional latency-critical services.
 func (m *Machine) ExtraLCs() []*workload.Profile { return m.extraLCs }
@@ -281,21 +325,38 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 				continue
 			}
 			f := m.freqFor(b.FreqGHz) * d.SlowBatch
-			ipc := m.Perf.IPCAtFreq(m.batch[i], b.Core, effBatch[i], inflation, f)
-			missesPerInstr := m.batch[i].MemFrac * m.batch[i].L1MissRate * m.batch[i].MissRatio(effBatch[i])
+			var ipc, missesPerInstr float64
+			if wi := perf.WayIndex(effBatch[i]); wi >= 0 {
+				ipc = m.tbl.IPCAt(i, b.Core.Index(), wi, inflation, f)
+				missesPerInstr = m.tbl.MissPerInstr(i, wi)
+			} else {
+				ipc = m.Perf.IPCAtFreq(m.batch[i], b.Core, effBatch[i], inflation, f)
+				missesPerInstr = m.batch[i].MemFrac * m.batch[i].L1MissRate * m.batch[i].MissRatio(effBatch[i])
+			}
 			traffic += ipc * f * missesPerInstr * 64
 		}
 		if m.lc != nil && alloc.LCCores > 0 {
-			perCore := m.Perf.DRAMTrafficGBs(m.lc, alloc.LCCore, effLC, inflation)
+			var perCore float64
+			if wi := perf.WayIndex(effLC); wi >= 0 {
+				perCore = m.tbl.TrafficAt(m.lcAppIdx(), alloc.LCCore.Index(), wi, inflation)
+			} else {
+				perCore = m.Perf.DRAMTrafficGBs(m.lc, alloc.LCCore, effLC, inflation)
+			}
 			util := m.lcUtilisation(&alloc, qps0, effLC, inflation, lcServers, d.SlowLC)
 			traffic += perCore * float64(lcServers) * util
 		}
 		for x, e := range alloc.ExtraLC {
 			app := m.extraLCs[x]
-			perCore := m.Perf.DRAMTrafficGBs(app, e.Core, effExtra[x], inflation)
-			ipc := m.Perf.IPC(app, e.Core, effExtra[x], inflation)
+			var perCore, ipc float64
+			if wi := perf.WayIndex(effExtra[x]); wi >= 0 {
+				perCore = m.tbl.TrafficAt(m.extraAppIdx(x), e.Core.Index(), wi, inflation)
+				ipc = m.tbl.IPCAt(m.extraAppIdx(x), e.Core.Index(), wi, inflation, m.Perf.FreqGHz())
+			} else {
+				perCore = m.Perf.DRAMTrafficGBs(app, e.Core, effExtra[x], inflation)
+				ipc = m.Perf.IPC(app, e.Core, effExtra[x], inflation)
+			}
 			meanSvc := m.extraInstr[x] / (ipc * m.Perf.FreqGHz() * 1e9)
-			util := math.Min(1, qps[x+1]*meanSvc/float64(e.Cores))
+			util := svcUtilisation(qps[x+1], meanSvc, float64(e.Cores))
 			traffic += perCore * float64(e.Cores) * util
 		}
 		inflation = bandwidthInflation(traffic / m.peakBW)
@@ -332,7 +393,7 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 			continue
 		}
 		f := m.freqFor(b.FreqGHz) * d.SlowBatch
-		ipc := m.Perf.IPCAtFreq(m.batch[i], b.Core, effBatch[i], inflation, f)
+		ipc := m.batchIPC(i, b.Core, effBatch[i], inflation, f)
 		bips := ipc * f * mux
 		res.BatchBIPS[i] = bips
 		res.BatchInstrB[i] = bips * durSec
@@ -351,19 +412,33 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 	if m.lc != nil && alloc.LCCores > 0 {
 		m.svc.SetServers(lcServers)
 		lcFreq := m.freqFor(alloc.LCFreqGHz) * d.SlowLC
-		ipc := m.Perf.IPCAtFreq(m.lc, alloc.LCCore, effLC, inflation, lcFreq)
+		ipc := m.lcIPC(m.lcAppIdx(), m.lc, alloc.LCCore, effLC, inflation, lcFreq)
 		rateIPC := ipc
 		if alloc.LCHalfBlend {
 			other := config.Narrowest
 			if alloc.LCCore == config.Narrowest {
 				other = config.Widest
 			}
-			rateIPC = (ipc + m.Perf.IPCAtFreq(m.lc, other, effLC, inflation, lcFreq)) / 2
+			rateIPC = (ipc + m.lcIPC(m.lcAppIdx(), m.lc, other, effLC, inflation, lcFreq)) / 2
 		}
 		meanSvc := m.queryInstr / (rateIPC * lcFreq * 1e9)
 		res.LCMeanSvc = meanSvc
-		res.Sojourns = m.svc.Step(durSec, qps0, meanSvc, m.lc.QuerySigma)
-		util := math.Min(1, qps0*meanSvc/float64(lcServers))
+		if meanSvc > 0 && !math.IsInf(meanSvc, 1) {
+			res.Sojourns = m.svc.Step(durSec, qps0, meanSvc, m.lc.QuerySigma)
+		} else {
+			// Zero-throughput configuration (rateIPC or lcFreq is 0):
+			// the service completes nothing. Advance the queue clock
+			// without simulating arrivals — drawing arrival times
+			// against an infinite service time would park +Inf in the
+			// server heap and poison every later phase — and report one
+			// unbounded sojourn so the slice scores as an SLO violation
+			// rather than feeding NaN arithmetic downstream.
+			m.svc.Advance(durSec)
+			if qps0 > 0 {
+				res.Sojourns = []float64{math.Inf(1)}
+			}
+		}
+		util := svcUtilisation(qps0, meanSvc, float64(lcServers))
 		// Dynamic power scales with how busy the LC cores actually are.
 		// The reported per-core sample is for LCCore itself — what a
 		// sensor on one of the LCCore-configured cores would read.
@@ -373,7 +448,7 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 			if alloc.LCCore == config.Narrowest {
 				other = config.Widest
 			}
-			otherIPC := m.Perf.IPCAtFreq(m.lc, other, effLC, inflation, lcFreq)
+			otherIPC := m.lcIPC(m.lcAppIdx(), m.lc, other, effLC, inflation, lcFreq)
 			otherPower := m.Power.CoreAtDVFS(m.lc, other, otherIPC*util, lcFreq)
 			totalPower += float64(lcServers) * (res.LCCorePowerW + otherPower) / 2
 		} else {
@@ -386,20 +461,32 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 		app := m.extraLCs[x]
 		svc := m.extraSvcs[x]
 		svc.SetServers(e.Cores)
-		ipc := m.Perf.IPC(app, e.Core, effExtra[x], inflation)
+		nominal := m.Perf.FreqGHz()
+		ipc := m.lcIPC(m.extraAppIdx(x), app, e.Core, effExtra[x], inflation, nominal)
 		rateIPC := ipc
 		if e.HalfBlend {
 			other := config.Narrowest
 			if e.Core == config.Narrowest {
 				other = config.Widest
 			}
-			rateIPC = (ipc + m.Perf.IPC(app, other, effExtra[x], inflation)) / 2
+			rateIPC = (ipc + m.lcIPC(m.extraAppIdx(x), app, other, effExtra[x], inflation, nominal)) / 2
 		}
-		meanSvc := m.extraInstr[x] / (rateIPC * m.Perf.FreqGHz() * 1e9)
+		meanSvc := m.extraInstr[x] / (rateIPC * nominal * 1e9)
 		res.ExtraMeanSvc = append(res.ExtraMeanSvc, meanSvc)
-		res.ExtraSojourns = append(res.ExtraSojourns,
-			svc.Step(durSec, qps[x+1], meanSvc, app.QuerySigma))
-		util := math.Min(1, qps[x+1]*meanSvc/float64(e.Cores))
+		if meanSvc > 0 && !math.IsInf(meanSvc, 1) {
+			res.ExtraSojourns = append(res.ExtraSojourns,
+				svc.Step(durSec, qps[x+1], meanSvc, app.QuerySigma))
+		} else {
+			// Zero-throughput configuration: same treatment as the
+			// primary service above.
+			svc.Advance(durSec)
+			var sj []float64
+			if qps[x+1] > 0 {
+				sj = []float64{math.Inf(1)}
+			}
+			res.ExtraSojourns = append(res.ExtraSojourns, sj)
+		}
+		util := svcUtilisation(qps[x+1], meanSvc, float64(e.Cores))
 		p := m.Power.Core(app, e.Core, ipc*util)
 		res.ExtraLCPowerW = append(res.ExtraLCPowerW, p)
 		res.ExtraEffWaysLC = append(res.ExtraEffWaysLC, effExtra[x])
@@ -429,9 +516,25 @@ func (m *Machine) RunMulti(alloc Allocation, durSec float64, qps []float64) Phas
 // slow the fail-slow frequency de-rating (1 when healthy).
 func (m *Machine) lcUtilisation(alloc *Allocation, qps, effLC, inflation float64, servers int, slow float64) float64 {
 	f := m.freqFor(alloc.LCFreqGHz) * slow
-	ipc := m.Perf.IPCAtFreq(m.lc, alloc.LCCore, effLC, inflation, f)
+	ipc := m.lcIPC(m.lcAppIdx(), m.lc, alloc.LCCore, effLC, inflation, f)
 	meanSvc := m.queryInstr / (ipc * f * 1e9)
-	return math.Min(1, qps*meanSvc/float64(servers))
+	return svcUtilisation(qps, meanSvc, float64(servers))
+}
+
+// svcUtilisation estimates a service's busy fraction from offered load
+// and per-query service time. An infinite or undefined service time —
+// a zero-throughput configuration — saturates to 1 under any load (the
+// servers never drain) and idles at 0 without load, instead of minting
+// 0·Inf = NaN. For finite service times this is exactly the M/M/k-style
+// offered-load cap the fixed point has always used.
+func svcUtilisation(qps, meanSvc, cores float64) float64 {
+	if math.IsInf(meanSvc, 1) || math.IsNaN(meanSvc) {
+		if qps > 0 {
+			return 1
+		}
+		return 0
+	}
+	return math.Min(1, qps*meanSvc/cores)
 }
 
 // freqFor resolves a per-assignment frequency override against the

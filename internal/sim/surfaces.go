@@ -21,9 +21,12 @@ import (
 func BatchSurfaces(pm *perf.Model, wm *power.Model, app *workload.Profile) (bips, pwr []float64) {
 	bips = make([]float64, config.NumResources)
 	pwr = make([]float64, config.NumResources)
+	// One staged table render replaces 108 pointwise model evaluations;
+	// the grid reads are bit-identical to the calls they replace.
+	tbl := perf.NewSurfaceTable(pm, []*workload.Profile{app})
 	for i, r := range config.AllResources() {
-		ipc := pm.IPC(app, r.Core, r.Cache.Ways(), 1)
-		bips[i] = ipc * pm.FreqGHz()
+		ipc := tbl.IPC(0, i)
+		bips[i] = tbl.BIPS(0, i)
 		pwr[i] = wm.Core(app, r.Core, ipc)
 	}
 	return bips, pwr
@@ -46,10 +49,12 @@ func LCSurfaces(pm *perf.Model, wm *power.Model, app *workload.Profile, k int, l
 	latMs = make([]float64, config.NumResources)
 	pwr = make([]float64, config.NumResources)
 	qps := loadFrac * app.MaxQPS
-	queryInstr := pm.QueryInstr(app)
+	pm.QueryInstr(app) // panics on MaxQPS ≤ 0, preserving the pre-table contract
+	tbl := perf.NewSurfaceTable(pm, []*workload.Profile{app})
+	tbl.Build(memInflation)
 	for i, r := range config.AllResources() {
-		ipc := pm.IPC(app, r.Core, r.Cache.Ways(), memInflation)
-		meanSvc := queryInstr / (ipc * pm.FreqGHz() * 1e9)
+		ipc := tbl.IPC(0, i)
+		meanSvc := tbl.ServiceTimeSec(0, i)
 		svc := qsim.NewService(seed+uint64(i), k)
 		var sojourns []float64
 		steps := int(math.Ceil(simSec / 0.1))
@@ -75,10 +80,11 @@ func LCServiceTimes(pm *perf.Model, app *workload.Profile, memInflation float64)
 		panic("sim: LCServiceTimes on a batch application")
 	}
 	out := make([]float64, config.NumResources)
-	queryInstr := pm.QueryInstr(app)
-	for i, r := range config.AllResources() {
-		ipc := pm.IPC(app, r.Core, r.Cache.Ways(), memInflation)
-		out[i] = queryInstr / (ipc * pm.FreqGHz() * 1e9) * 1e3
+	pm.QueryInstr(app) // panics on MaxQPS ≤ 0, preserving the pre-table contract
+	tbl := perf.NewSurfaceTable(pm, []*workload.Profile{app})
+	tbl.Build(memInflation)
+	for i := range out {
+		out[i] = tbl.ServiceTimeSec(0, i) * 1e3
 	}
 	return out
 }
